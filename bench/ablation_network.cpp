@@ -1,0 +1,115 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//  1. link contention on/off -> HALO mapping sensitivity (Fig. 2c,d)
+//  2. tree network on/off    -> BG/P Bcast advantage (Fig. 3c)
+//  3. eager threshold sweep  -> protocol behaviour (Fig. 2a)
+//  4. solver reduction count -> POP barotropic (Fig. 4a)
+// Each ablation shows which modeled mechanism produces which published
+// observation; removing the mechanism removes the observation.
+
+#include <iostream>
+
+#include "apps/pop.hpp"
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+#include "microbench/halo.hpp"
+#include "microbench/imb.hpp"
+#include "smpi/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+
+  {
+    core::Figure fig("Ablation 1: contention modeling vs HALO mapping "
+                     "spread (1024 VN ranks, 20000-word halo)",
+                     "contention", "max/min over mappings");
+    auto& s = fig.addSeries("spread");
+    for (bool contention : {true, false}) {
+      double lo = 1e300, hi = 0;
+      for (const auto& m : topo::Mapping::paperOrders()) {
+        microbench::HaloConfig c;
+        c.machine = arch::machineByName("BG/P");
+        c.nranks = 1024;
+        c.gridRows = 32;
+        c.gridCols = 32;
+        c.mapping = m;
+        c.reps = 2;
+        c.modelContention = contention;
+        const double t = microbench::runHalo(c, 20000);
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+      }
+      s.points.push_back({contention ? 1.0 : 0.0, hi / lo});
+    }
+    bench::emit(fig, opts, "%.2f");
+    bench::note("With contention the mapping choice matters (paper Fig. "
+                "2c,d); without it the spread collapses.");
+  }
+  {
+    core::Figure fig("Ablation 2: tree network vs BG/P Bcast latency "
+                     "(512 ranks)",
+                     "bytes", "us");
+    for (bool tree : {true, false}) {
+      auto& s = fig.addSeries(tree ? "tree network" : "torus algorithms");
+      core::sweep(s, {64, 4096, 32768, 1048576}, [&](double b) {
+        microbench::ImbConfig c;
+        c.machine = arch::machineByName("BG/P");
+        c.nranks = 512;
+        c.reps = 2;
+        c.useTreeNetwork = tree;
+        return imbBcast(c, b) * 1e6;
+      });
+    }
+    bench::emit(fig, opts, "%.1f");
+    bench::note("The Fig. 3 Bcast advantage exists if and only if the "
+                "dedicated collective network is modeled.");
+  }
+  {
+    core::Figure fig("Ablation 3: eager threshold vs blocking-send "
+                     "completion time (64 KiB message, idle receiver "
+                     "posting late)",
+                     "eager threshold (bytes)", "sender completion (ms)");
+    auto& s = fig.addSeries("BG/P");
+    core::sweep(s, {0, 1200, 16384, 131072}, [&](double threshold) {
+      net::SystemOptions o;
+      o.mappingOrder = "XYZT";
+      o.eagerThresholdOverride = threshold;
+      smpi::Simulation sim(arch::machineByName("BG/P"), 8, o);
+      double sendDone = 0;
+      sim.run([&](smpi::Rank& self) -> sim::Task {
+        if (self.id() == 0) {
+          co_await self.send(1, 65536);
+          sendDone = self.now();
+        } else if (self.id() == 1) {
+          co_await self.compute(0.01);  // receiver busy 10 ms
+          co_await self.recv(0);
+        }
+        co_return;
+      });
+      return sendDone * 1e3;
+    });
+    bench::emit(fig, opts, "%.3f");
+    bench::note("Below the threshold the send is rendezvous and waits ~10 ms "
+                "for the receiver; above it, eager buffering completes in "
+                "microseconds — the mechanism behind protocol differences.");
+  }
+  {
+    core::Figure fig("Ablation 4: reductions per solver iteration vs POP "
+                     "barotropic cost (BG/P VN)",
+                     "processes", "barotropic seconds per simulated day");
+    auto& std2 = fig.addSeries("standard CG (2 allreduce/iter)");
+    auto& cg1 = fig.addSeries("Chronopoulos-Gear (1 allreduce/iter)");
+    for (double p : {512.0, 4096.0, 16000.0, 40000.0}) {
+      apps::PopConfig c{arch::machineByName("BG/P"), static_cast<int>(p)};
+      c.solver = apps::PopSolver::StandardCG;
+      std2.points.push_back({p, apps::runPop(c).barotropicSeconds});
+      c.solver = apps::PopSolver::ChronopoulosGear;
+      cg1.points.push_back({p, apps::runPop(c).barotropicSeconds});
+    }
+    bench::emit(fig, opts, "%.2f");
+    bench::note("C-G trades extra local vector work for one fewer global "
+                "reduction: slower at small P, faster at large P (paper "
+                "Fig. 4a discussion).");
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+#pragma once
+// Shared plumbing for the table/figure harnesses: CLI flags (--full for
+// the paper's complete sweeps, --csv for machine-readable output) and
+// output helpers.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace bgp::bench {
+
+struct BenchOptions {
+  bool full = false;  // run the paper's complete parameter sweeps
+  bool csv = false;   // emit CSV after each table
+
+  static BenchOptions parse(int argc, const char* const* argv) {
+    const Cli cli(argc, argv);
+    BenchOptions o;
+    o.full = cli.getBool("full");
+    o.csv = cli.getBool("csv");
+    return o;
+  }
+};
+
+inline void emit(const core::Figure& fig, const BenchOptions& opts,
+                 const char* fmt = "%.4g") {
+  fig.print(std::cout, fmt);
+  if (opts.csv) fig.printCsv(std::cout);
+}
+
+inline void note(const std::string& text) {
+  std::cout << "  " << text << '\n';
+}
+
+}  // namespace bgp::bench

@@ -1,0 +1,147 @@
+// Figure 2 of the paper: the HALO benchmark on BG/P.
+//  (a) MPI-1 protocol comparison, VN mode (paper: 8192 cores, 128x64 grid)
+//  (b) protocol comparison, SMP mode (paper: 2048 cores, 64x32 grid)
+//  (c,d) process-mapping sensitivity, VN mode (4096 & 8192 cores)
+//  (e,f) virtual-grid-size sweep with the best mapping, VN & SMP modes
+// Defaults use quarter-size partitions so the full binary suite stays
+// fast; --full reproduces the paper's sizes.
+
+#include <iostream>
+
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+#include "microbench/halo.hpp"
+#include "topo/mapping.hpp"
+
+using bgp::microbench::HaloConfig;
+using bgp::microbench::HaloProtocol;
+
+namespace {
+
+HaloConfig base(int nranks, int rows, int cols, bgp::arch::ExecMode mode) {
+  HaloConfig c;
+  c.machine = bgp::arch::machineByName("BG/P");
+  c.nranks = nranks;
+  c.gridRows = rows;
+  c.gridCols = cols;
+  c.mode = mode;
+  c.reps = 2;
+  return c;
+}
+
+const std::vector<double> kWords = {2,    8,    32,   128,  512,
+                                    2000, 8000, 20000};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const int vnRanks = opts.full ? 8192 : 2048;
+  const int vnRows = opts.full ? 128 : 64;
+  const int vnCols = opts.full ? 64 : 32;
+  const int smpRanks = opts.full ? 2048 : 512;
+  const int smpRows = opts.full ? 64 : 32;
+  const int smpCols = opts.full ? 32 : 16;
+
+  {
+    core::Figure fig("Figure 2(a): protocols, VN mode, " +
+                         std::to_string(vnRanks) + " cores, TXYZ",
+                     "words", "us per exchange");
+    for (auto proto : {HaloProtocol::IsendIrecv, HaloProtocol::Sendrecv,
+                       HaloProtocol::Persistent, HaloProtocol::Bsend}) {
+      auto& s = fig.addSeries(toString(proto));
+      core::sweep(s, kWords, [&](double w) {
+        auto c = base(vnRanks, vnRows, vnCols, arch::ExecMode::VN);
+        c.protocol = proto;
+        return microbench::runHalo(c, static_cast<int>(w)) * 1e6;
+      });
+    }
+    bench::emit(fig, opts, "%.1f");
+  }
+  {
+    core::Figure fig("Figure 2(b): protocols, SMP mode, " +
+                         std::to_string(smpRanks) + " cores, XYZT",
+                     "words", "us per exchange");
+    for (auto proto : {HaloProtocol::IsendIrecv, HaloProtocol::Sendrecv,
+                       HaloProtocol::Persistent}) {
+      auto& s = fig.addSeries(toString(proto));
+      core::sweep(s, kWords, [&](double w) {
+        auto c = base(smpRanks, smpRows, smpCols, arch::ExecMode::SMP);
+        c.mapping = "XYZT";
+        c.protocol = proto;
+        return microbench::runHalo(c, static_cast<int>(w)) * 1e6;
+      });
+    }
+    bench::emit(fig, opts, "%.1f");
+  }
+  for (const int ranks : {opts.full ? 4096 : 1024, vnRanks}) {
+    const int rows = ranks == vnRanks ? vnRows : (opts.full ? 64 : 32);
+    const int cols = ranks / rows;
+    core::Figure fig("Figure 2(c,d): mapping sensitivity, VN, " +
+                         std::to_string(ranks) + " cores (" +
+                         std::to_string(rows) + "x" + std::to_string(cols) +
+                         " grid)",
+                     "words", "us per exchange");
+    for (const auto& mapping : topo::Mapping::paperOrders()) {
+      auto& s = fig.addSeries(mapping);
+      core::sweep(s, kWords, [&](double w) {
+        auto c = base(ranks, rows, cols, arch::ExecMode::VN);
+        c.mapping = mapping;
+        return microbench::runHalo(c, static_cast<int>(w)) * 1e6;
+      });
+    }
+    bench::emit(fig, opts, "%.1f");
+  }
+  {
+    core::Figure fig("Figure 2(e): virtual grid sweep, VN, best mapping",
+                     "words", "us per exchange");
+    const std::vector<std::pair<int, int>> grids =
+        opts.full ? std::vector<std::pair<int, int>>{{32, 32}, {64, 32},
+                                                     {64, 64}, {128, 64}}
+                  : std::vector<std::pair<int, int>>{{16, 16}, {32, 16},
+                                                     {32, 32}, {64, 32}};
+    for (auto [r, cGrid] : grids) {
+      auto& s = fig.addSeries(std::to_string(r) + "x" + std::to_string(cGrid));
+      core::sweep(s, kWords, [&, r = r, cGrid = cGrid](double w) {
+        double best = 1e300;
+        for (const char* m : {"TXYZ", "TZYX", "XYZT", "ZYXT"}) {
+          auto c = base(r * cGrid, r, cGrid, arch::ExecMode::VN);
+          c.mapping = m;
+          best = std::min(best,
+                          microbench::runHalo(c, static_cast<int>(w)) * 1e6);
+        }
+        return best;
+      });
+    }
+    bench::emit(fig, opts, "%.1f");
+  }
+  {
+    core::Figure fig("Figure 2(f): virtual grid sweep, SMP, best mapping",
+                     "words", "us per exchange");
+    const std::vector<std::pair<int, int>> grids =
+        opts.full ? std::vector<std::pair<int, int>>{{32, 16}, {32, 32},
+                                                     {64, 32}}
+                  : std::vector<std::pair<int, int>>{{16, 8}, {16, 16},
+                                                     {32, 16}};
+    for (auto [r, cGrid] : grids) {
+      auto& s = fig.addSeries(std::to_string(r) + "x" + std::to_string(cGrid));
+      core::sweep(s, kWords, [&, r = r, cGrid = cGrid](double w) {
+        double best = 1e300;
+        for (const char* m : {"XYZT", "YXZT", "ZXYT"}) {
+          auto c = base(r * cGrid, r, cGrid, arch::ExecMode::SMP);
+          c.mapping = m;
+          best = std::min(best,
+                          microbench::runHalo(c, static_cast<int>(w)) * 1e6);
+        }
+        return best;
+      });
+    }
+    bench::emit(fig, opts, "%.1f");
+  }
+
+  bench::note("Paper shape: protocols nearly equal (SENDRECV worst at some "
+              "sizes); mapping matters only for large halos; cost does not "
+              "grow with the processor grid.");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 3 of the paper: IMB collective performance, BG/P vs XT4/QC (VN):
+//  (a) Allreduce latency vs message size at 8192 processes (stock float
+//      IMB plus the authors' custom double-precision variant)
+//  (b) Allreduce latency vs process count at 32 KiB
+//  (c) Bcast latency vs message size at 8192 processes
+//  (d) Bcast latency vs process count at 32 KiB
+
+#include <iostream>
+
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+#include "microbench/imb.hpp"
+
+using bgp::microbench::ImbConfig;
+
+namespace {
+ImbConfig config(const char* machine, int nranks) {
+  ImbConfig c;
+  c.machine = bgp::arch::machineByName(machine);
+  c.nranks = nranks;
+  c.reps = 2;
+  return c;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const int bigP = opts.full ? 8192 : 2048;
+  const std::vector<double> sizes = {8,    64,    512,    4096,
+                                     32768, 262144, 1048576};
+  const auto procs = core::powersOfTwo(128, bigP);
+
+  {
+    core::Figure fig("Figure 3(a): Allreduce latency vs size, " +
+                         std::to_string(bigP) + " procs",
+                     "bytes", "us");
+    core::sweep(fig.addSeries("BG/P double"), sizes, [&](double b) {
+      return imbAllreduce(config("BG/P", bigP), b, net::Dtype::Double) * 1e6;
+    });
+    core::sweep(fig.addSeries("BG/P float"), sizes, [&](double b) {
+      return imbAllreduce(config("BG/P", bigP), b, net::Dtype::Float) * 1e6;
+    });
+    core::sweep(fig.addSeries("XT4/QC double"), sizes, [&](double b) {
+      return imbAllreduce(config("XT4/QC", bigP), b, net::Dtype::Double) *
+             1e6;
+    });
+    core::sweep(fig.addSeries("XT4/QC float"), sizes, [&](double b) {
+      return imbAllreduce(config("XT4/QC", bigP), b, net::Dtype::Float) * 1e6;
+    });
+    bench::emit(fig, opts, "%.1f");
+  }
+  {
+    core::Figure fig("Figure 3(b): Allreduce latency vs procs, 32 KiB",
+                     "processes", "us");
+    core::sweep(fig.addSeries("BG/P double"), procs, [&](double p) {
+      return imbAllreduce(config("BG/P", static_cast<int>(p)), 32768,
+                          net::Dtype::Double) *
+             1e6;
+    });
+    core::sweep(fig.addSeries("XT4/QC double"), procs, [&](double p) {
+      return imbAllreduce(config("XT4/QC", static_cast<int>(p)), 32768,
+                          net::Dtype::Double) *
+             1e6;
+    });
+    bench::emit(fig, opts, "%.1f");
+  }
+  {
+    core::Figure fig("Figure 3(c): Bcast latency vs size, " +
+                         std::to_string(bigP) + " procs",
+                     "bytes", "us");
+    core::sweep(fig.addSeries("BG/P"), sizes, [&](double b) {
+      return imbBcast(config("BG/P", bigP), b) * 1e6;
+    });
+    core::sweep(fig.addSeries("XT4/QC"), sizes, [&](double b) {
+      return imbBcast(config("XT4/QC", bigP), b) * 1e6;
+    });
+    bench::emit(fig, opts, "%.1f");
+  }
+  {
+    core::Figure fig("Figure 3(d): Bcast latency vs procs, 32 KiB",
+                     "processes", "us");
+    core::sweep(fig.addSeries("BG/P"), procs, [&](double p) {
+      return imbBcast(config("BG/P", static_cast<int>(p)), 32768) * 1e6;
+    });
+    core::sweep(fig.addSeries("XT4/QC"), procs, [&](double p) {
+      return imbBcast(config("XT4/QC", static_cast<int>(p)), 32768) * 1e6;
+    });
+    bench::emit(fig, opts, "%.1f");
+  }
+
+  bench::note("Paper shape: double-precision Allreduce markedly faster than "
+              "single on BG/P only; BG/P Bcast dramatically faster at every "
+              "size (tree network); BG/P scalability near-flat in procs.");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 4 of the paper: POP tenth-degree benchmark.
+//  (a) BG/P VN vs SMP mode, standard CG vs Chronopoulos-Gear solver
+//  (b) BG/P phase breakdown: baroclinic / barotropic / timing barrier
+//  (c) BG/P vs XT4 (dual-core, Catamount) total performance
+//  (d) BG/P vs XT4 phase comparison (XT timed WITHOUT the barrier, as in
+//      the paper, so baroclinic imbalance contaminates its barotropic
+//      timer)
+
+#include <iostream>
+
+#include "apps/pop.hpp"
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+
+using bgp::apps::PopConfig;
+using bgp::apps::PopSolver;
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const std::vector<double> procs =
+      opts.full
+          ? std::vector<double>{500, 1000, 2000, 4000, 8000, 12000, 16000,
+                                22500, 30000, 40000}
+          : std::vector<double>{2000, 8000, 22500, 40000};
+
+  auto popSyd = [](const char* machine, double p, arch::ExecMode mode,
+                   PopSolver solver, bool barrier) {
+    PopConfig c{arch::machineByName(machine), static_cast<int>(p)};
+    c.mode = mode;
+    c.solver = solver;
+    c.timingBarrier = barrier;
+    return apps::runPop(c);
+  };
+
+  {
+    core::Figure fig("Figure 4(a): POP modes & solver variants on BG/P",
+                     "processes", "simulated years/day");
+    core::sweep(fig.addSeries("VN C-G"), procs, [&](double p) {
+      return popSyd("BG/P", p, arch::ExecMode::VN,
+                    PopSolver::ChronopoulosGear, true)
+          .syd;
+    });
+    core::sweep(fig.addSeries("VN std"), procs, [&](double p) {
+      return popSyd("BG/P", p, arch::ExecMode::VN, PopSolver::StandardCG,
+                    true)
+          .syd;
+    });
+    core::sweep(fig.addSeries("SMP C-G"), procs, [&](double p) {
+      return popSyd("BG/P", p, arch::ExecMode::SMP,
+                    PopSolver::ChronopoulosGear, true)
+          .syd;
+    });
+    core::sweep(fig.addSeries("SMP std"), procs, [&](double p) {
+      return popSyd("BG/P", p, arch::ExecMode::SMP, PopSolver::StandardCG,
+                    true)
+          .syd;
+    });
+    bench::emit(fig, opts, "%.2f");
+  }
+  {
+    core::Figure fig("Figure 4(b): BG/P phase breakdown (VN, C-G)",
+                     "processes", "seconds per simulated day");
+    auto& bc = fig.addSeries("baroclinic");
+    auto& bt = fig.addSeries("barotropic");
+    auto& bar = fig.addSeries("timing barrier");
+    for (double p : procs) {
+      const auto r = popSyd("BG/P", p, arch::ExecMode::VN,
+                            PopSolver::ChronopoulosGear, true);
+      bc.points.push_back({p, r.baroclinicSeconds});
+      bt.points.push_back({p, r.barotropicSeconds});
+      bar.points.push_back({p, r.barrierSeconds});
+    }
+    bench::emit(fig, opts, "%.2f");
+  }
+  {
+    core::Figure fig("Figure 4(c): BG/P vs XT4/DC total performance",
+                     "processes", "simulated years/day");
+    core::sweep(fig.addSeries("BG/P VN"), procs, [&](double p) {
+      return popSyd("BG/P", p, arch::ExecMode::VN,
+                    PopSolver::ChronopoulosGear, true)
+          .syd;
+    });
+    core::sweep(fig.addSeries("XT4/DC VN"), procs, [&](double p) {
+      if (p > 24000) throw std::runtime_error("beyond XT partition");
+      return popSyd("XT4/DC", p, arch::ExecMode::VN,
+                    PopSolver::StandardCG, false)
+          .syd;
+    });
+    core::sweep(fig.addSeries("XT4/DC SN"), procs, [&](double p) {
+      if (p > 11000) throw std::runtime_error("beyond XT partition");
+      return popSyd("XT4/DC", p, arch::ExecMode::SMP,
+                    PopSolver::StandardCG, false)
+          .syd;
+    });
+    bench::emit(fig, opts, "%.2f");
+  }
+  {
+    core::Figure fig(
+        "Figure 4(d): phase comparison (XT timers lack the barrier)",
+        "processes", "seconds per simulated day");
+    auto& bgpBc = fig.addSeries("BG/P baroclinic");
+    auto& bgpBt = fig.addSeries("BG/P barotropic");
+    auto& xtBc = fig.addSeries("XT4 baroclinic");
+    auto& xtBt = fig.addSeries("XT4 barotropic");
+    for (double p : procs) {
+      const auto b = popSyd("BG/P", p, arch::ExecMode::VN,
+                            PopSolver::ChronopoulosGear, true);
+      bgpBc.points.push_back({p, b.baroclinicSeconds});
+      bgpBt.points.push_back({p, b.barotropicSeconds});
+      if (p <= 24000) {
+        const auto x = popSyd("XT4/DC", p, arch::ExecMode::VN,
+                              PopSolver::StandardCG, false);
+        xtBc.points.push_back({p, x.baroclinicSeconds});
+        xtBt.points.push_back({p, x.barotropicSeconds});
+      }
+    }
+    bench::emit(fig, opts, "%.2f");
+  }
+
+  bench::note("Paper shape: linear to 8000, scaling to 40000; modes and "
+              "solver variants nearly equivalent; XT4 ~3.6x at 8000 falling "
+              "to ~2.5x at 22500; XT barotropic stalls beyond 8000 while "
+              "BG/P's keeps improving and stays under half of baroclinic.");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 5 of the paper: CAM performance in simulation years per day.
+//  (a) spectral Eulerian T42L26 & T85L26 on BG/P, pure MPI vs hybrid
+//  (b) finite volume 1.9x2.5 & 0.47x0.63 on BG/P, pure MPI vs hybrid
+//  (c,d) best-configuration comparison vs Cray XT3 and XT4
+
+#include <iostream>
+
+#include "apps/cam.hpp"
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+
+using bgp::apps::CamConfig;
+using bgp::apps::CamProblem;
+
+namespace {
+
+double bestSypd(const char* machine, const CamProblem& prob, double cores) {
+  using namespace bgp;
+  double best = 0;
+  for (bool hybrid : {false, true}) {
+    CamConfig c{arch::machineByName(machine), prob, static_cast<int>(cores),
+                hybrid};
+    for (bool lb : {false, true}) {
+      c.loadBalance = lb;
+      const auto r = apps::runCam(c);
+      if (r.feasible) best = std::max(best, r.sypd);
+    }
+  }
+  if (best == 0) throw std::runtime_error("infeasible");
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const auto cores = core::powersOfTwo(16, opts.full ? 2048 : 1024);
+
+  auto sypd = [](const char* machine, const CamProblem& prob, double cores,
+                 bool hybrid) {
+    CamConfig c{arch::machineByName(machine), prob, static_cast<int>(cores),
+                hybrid};
+    const auto r = apps::runCam(c);
+    if (!r.feasible) throw std::runtime_error("infeasible");
+    return r.sypd;
+  };
+
+  {
+    core::Figure fig("Figure 5(a): CAM spectral Eulerian on BG/P", "cores",
+                     "simulation years/day");
+    for (const auto& prob : {apps::camT42(), apps::camT85()}) {
+      core::sweep(fig.addSeries(prob.name + " MPI"), cores, [&](double c) {
+        return sypd("BG/P", prob, c, false);
+      });
+      core::sweep(fig.addSeries(prob.name + " MPI+OMP"), cores,
+                  [&](double c) { return sypd("BG/P", prob, c, true); });
+    }
+    bench::emit(fig, opts, "%.2f");
+  }
+  {
+    core::Figure fig("Figure 5(b): CAM finite volume on BG/P", "cores",
+                     "simulation years/day");
+    for (const auto& prob : {apps::camFvLowRes(), apps::camFvHighRes()}) {
+      core::sweep(fig.addSeries(prob.name + " MPI"), cores, [&](double c) {
+        // The paper's pure-MPI FV 0.47x0.63 runs failed with memory
+        // problems; the model reports the curve anyway.
+        return sypd("BG/P", prob, c, false);
+      });
+      core::sweep(fig.addSeries(prob.name + " MPI+OMP"), cores,
+                  [&](double c) { return sypd("BG/P", prob, c, true); });
+    }
+    bench::emit(fig, opts, "%.2f");
+  }
+  {
+    core::Figure fig("Figure 5(c): EUL benchmarks vs Cray XT (best config)",
+                     "cores", "simulation years/day");
+    for (const auto& prob : {apps::camT42(), apps::camT85()}) {
+      for (const char* m : {"BG/P", "XT3", "XT4/QC"}) {
+        core::sweep(fig.addSeries(std::string(m) + " " + prob.name), cores,
+                    [&](double c) { return bestSypd(m, prob, c); });
+      }
+    }
+    bench::emit(fig, opts, "%.2f");
+  }
+  {
+    core::Figure fig("Figure 5(d): FV benchmarks vs Cray XT (best config)",
+                     "cores", "simulation years/day");
+    for (const auto& prob : {apps::camFvLowRes(), apps::camFvHighRes()}) {
+      for (const char* m : {"BG/P", "XT3", "XT4/QC"}) {
+        core::sweep(fig.addSeries(std::string(m) + " " + prob.name), cores,
+                    [&](double c) { return bestSypd(m, prob, c); });
+      }
+    }
+    bench::emit(fig, opts, "%.2f");
+  }
+
+  bench::note("Paper shape: OpenMP comparable at small counts and extends "
+              "scalability; BG/P >= 2.1x slower than XT3 and >= 3.1x slower "
+              "than XT4 on EUL; FV gap 2-2.5x (XT4) and < 2x (XT3); "
+              "FV 0.47x0.63 scales poorly everywhere.");
+  return 0;
+}

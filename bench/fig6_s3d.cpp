@@ -1,0 +1,31 @@
+// Figure 6 of the paper: S3D weak scaling — computational cost (core-
+// hours) per grid point per time step, 50^3 points per MPI rank, pressure-
+// wave problem with CO-H2 chemistry, across platforms.
+
+#include <iostream>
+
+#include "apps/s3d.hpp"
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const auto ranks = core::powersOfTwo(8, opts.full ? 8192 : 1024);
+
+  core::Figure fig("Figure 6: S3D weak scaling (50^3 points/rank)",
+                   "MPI ranks", "core-hours per point per step (x1e-9)");
+  for (const char* m : {"BG/P", "BG/L", "XT3", "XT4/DC", "XT4/QC"}) {
+    core::sweep(fig.addSeries(m), ranks, [&](double p) {
+      apps::S3dConfig c{arch::machineByName(m), static_cast<int>(p)};
+      c.steps = opts.full ? 5 : 2;
+      return apps::runS3d(c).coreHoursPerPointStep * 1e9;
+    });
+  }
+  bench::emit(fig, opts, "%.2f");
+
+  bench::note("Paper shape: near-flat curves on every platform (excellent "
+              "weak scaling); XT cheapest per point, BG/P ~3x dearer per "
+              "core but packaged 10x denser.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 8 of the paper: LAMMPS and AMBER/PMEMD on the 290,220-atom
+// RuBisCO system, BG/P vs XT3 and XT4/DC (VN mode, CNL).
+
+#include <iostream>
+
+#include "apps/md.hpp"
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const auto ranks = core::powersOfTwo(64, opts.full ? 16384 : 8192);
+
+  {
+    core::Figure fig("Figure 8(a): LAMMPS, RuBisCO 290,220 atoms",
+                     "MPI tasks", "timesteps per second");
+    for (const char* m : {"BG/P", "XT3", "XT4/DC"}) {
+      core::sweep(fig.addSeries(m), ranks, [&](double p) {
+        apps::MdConfig c{arch::machineByName(m), apps::MdCode::LAMMPS,
+                         static_cast<int>(p)};
+        return apps::runMd(c).stepsPerSecond;
+      });
+    }
+    bench::emit(fig, opts, "%.2f");
+  }
+  {
+    core::Figure fig("Figure 8(b): AMBER/PMEMD, RuBisCO 290,220 atoms",
+                     "MPI tasks", "timesteps per second");
+    for (const char* m : {"BG/P", "XT3", "XT4/DC"}) {
+      core::sweep(fig.addSeries(m), ranks, [&](double p) {
+        apps::MdConfig c{arch::machineByName(m), apps::MdCode::PMEMD,
+                         static_cast<int>(p)};
+        return apps::runMd(c).stepsPerSecond;
+      });
+    }
+    bench::emit(fig, opts, "%.2f");
+  }
+  {
+    core::Figure fig("Parallel efficiency (LAMMPS, vs 64 tasks)",
+                     "MPI tasks", "efficiency");
+    for (const char* m : {"BG/P", "XT4/DC"}) {
+      auto& s = fig.addSeries(m);
+      apps::MdConfig base{arch::machineByName(m), apps::MdCode::LAMMPS, 64};
+      const double t64 = apps::runMd(base).secondsPerStep;
+      for (double p : ranks) {
+        apps::MdConfig c{arch::machineByName(m), apps::MdCode::LAMMPS,
+                         static_cast<int>(p)};
+        s.points.push_back(
+            {p, t64 * 64.0 / (apps::runMd(c).secondsPerStep * p)});
+      }
+    }
+    bench::emit(fig, opts, "%.3f");
+  }
+
+  bench::note("Paper shape: newer generations faster especially at large "
+              "task counts; BG/P's collective network yields higher "
+              "parallel efficiency; PMEMD saturates earlier than LAMMPS "
+              "(comm volume growth + output frequency).");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Runs the whole HPCC suite on one machine/partition and prints an
+// hpccoutf-style summary — the single-machine view whose BG/P-vs-XT
+// comparison the paper's Table 2 and Figure 1 slice up.
+//
+//   $ ./hpcc_suite [--machine="BG/P"] [--ranks=1024] [--mem=0.8]
+
+#include <cmath>
+#include <iostream>
+
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+#include "hpcc/comm_tests.hpp"
+#include "hpcc/hpl_model.hpp"
+#include "hpcc/node_tests.hpp"
+#include "hpcc/parallel_models.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const Cli cli(argc, argv);
+  const std::string machineName = cli.get("machine", "BG/P");
+  const int ranks = static_cast<int>(cli.getInt("ranks", 1024));
+  const double mem = cli.getDouble("mem", 0.8);
+
+  const auto machine = arch::machineByName(machineName);
+  const net::System sys(machine, ranks);
+
+  printBanner(std::cout, "HPCC suite: " + machineName + ", " +
+                             std::to_string(ranks) + " processes (VN), " +
+                             sys.mapping().torus().describe() + " torus");
+
+  const auto node = hpcc::runNodeTests(machine);
+  const auto comm =
+      hpcc::runCommTests(machine, std::min(ranks, 512));
+  const auto hplCfg = hpcc::hplConfigFor(sys, mem, machineName == "BG/P"
+                                                      ? 144
+                                                      : 168);
+  const auto hpl = hpcc::runHplModel(sys, hplCfg);
+  const auto ptrans = hpcc::runPtransModel(sys, mem);
+  const auto fftR = hpcc::runFftModel(sys, mem / 2);
+  const auto ra = hpcc::runRaModel(sys, mem / 2);
+
+  Table t({"Benchmark", "Result", "Units"});
+  char buf[64];
+  auto f = [&buf](double v, const char* fmtStr) {
+    std::snprintf(buf, sizeof buf, fmtStr, v);
+    return std::string(buf);
+  };
+  t.addRow({"HPL (N=" + std::to_string(hplCfg.n) + ", " +
+                std::to_string(hplCfg.gridP) + "x" +
+                std::to_string(hplCfg.gridQ) + ")",
+            f(hpl.gflops, "%.1f"), "GFlop/s"});
+  t.addRow({"HPL efficiency", f(hpl.efficiency * 100, "%.1f"), "% of peak"});
+  t.addRow({"PTRANS (N=" + std::to_string(ptrans.n) + ")",
+            f(ptrans.gbPerSec, "%.2f"), "GB/s"});
+  t.addRow({"MPIFFT (N=2^" +
+                std::to_string(static_cast<int>(std::log2(
+                    static_cast<double>(fftR.n)))) +
+                ")",
+            f(fftR.gflops, "%.2f"), "GFlop/s"});
+  t.addRow({"MPIRandomAccess", f(ra.gups, "%.4f"), "GUP/s"});
+  t.addRow({"DGEMM (SP / EP)", f(node.dgemmGflopsSP, "%.2f") + " / " +
+                                   f(node.dgemmGflopsEP, "%.2f"),
+            "GFlop/s per process"});
+  t.addRow({"STREAM Triad (SP / EP)",
+            f(node.streamTriadGBsSP, "%.2f") + " / " +
+                f(node.streamTriadGBsEP, "%.2f"),
+            "GB/s per process"});
+  t.addRow({"FFT single (SP / EP)", f(node.fftGflopsSP, "%.3f") + " / " +
+                                        f(node.fftGflopsEP, "%.3f"),
+            "GFlop/s per process"});
+  t.addRow({"RandomAccess (SP / EP)", f(node.raGupsSP, "%.4f") + " / " +
+                                          f(node.raGupsEP, "%.4f"),
+            "GUP/s per process"});
+  t.addRow({"PingPong latency", f(comm.pingPongLatency * 1e6, "%.2f"),
+            "us"});
+  t.addRow({"PingPong bandwidth", f(comm.pingPongBandwidth / 1e6, "%.0f"),
+            "MB/s"});
+  t.addRow({"RandomRing latency", f(comm.randomRingLatency * 1e6, "%.2f"),
+            "us"});
+  t.addRow({"RandomRing bandwidth",
+            f(comm.randomRingBandwidth / 1e6, "%.0f"), "MB/s per process"});
+  t.print(std::cout);
+
+  bench::note("HPCC input conventions: N at ~" +
+              std::to_string(static_cast<int>(mem * 100)) +
+              "% of memory, NB=144/168 (BG/P/XT), near-square grid.");
+  return 0;
+}

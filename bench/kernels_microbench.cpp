@@ -1,0 +1,164 @@
+// google-benchmark microbenchmarks for the host-executed kernels — the
+// real computational code behind the HPCC models (DGEMM, STREAM, FFT,
+// transpose, RandomAccess, CG variants, LU).  These measure THIS host, not
+// the simulated machines; they exist to sanity-check the kernels and to
+// give the repository a native performance baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "kernels/cg.hpp"
+#include "kernels/dgemm.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/lu.hpp"
+#include "kernels/randomaccess.hpp"
+#include "kernels/stream.hpp"
+#include "kernels/transpose.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace bgp;
+
+void BM_DgemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& v : a) v = rng.uniform();
+  for (auto& v : b) v = rng.uniform();
+  for (auto _ : state) {
+    kernels::dgemm(n, n, n, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      kernels::dgemmFlops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DgemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DgemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& v : a) v = rng.uniform();
+  for (auto& v : b) v = rng.uniform();
+  for (auto _ : state) {
+    kernels::dgemmNaive(n, n, n, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_DgemmNaive)->Arg(64)->Arg(128);
+
+void BM_StreamTriad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  for (auto _ : state) {
+    kernels::streamPass(kernels::StreamKernel::Triad, a, b, c);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() *
+      kernels::streamBytesPerElement(kernels::StreamKernel::Triad) *
+      static_cast<double>(n)));
+}
+BENCHMARK(BM_StreamTriad)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<std::complex<double>> x(n);
+  for (auto& v : x) v = {rng.uniform(), rng.uniform()};
+  for (auto _ : state) {
+    kernels::fft(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      kernels::fftFlops(n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fft)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Transpose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> in(n * n, 1.0), out(n * n);
+  for (auto _ : state) {
+    kernels::transpose(n, n, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * 16.0 * static_cast<double>(n * n)));
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
+
+void BM_RandomAccess(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> table(1ULL << bits);
+  for (std::size_t i = 0; i < table.size(); ++i) table[i] = i;
+  const std::int64_t updates = 1 << 18;
+  std::int64_t start = 0;
+  for (auto _ : state) {
+    kernels::raUpdate(table, start, updates);
+    start += updates;
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.counters["MUP/s"] = benchmark::Counter(
+      static_cast<double>(updates) * static_cast<double>(state.iterations()) /
+          1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RandomAccess)->Arg(16)->Arg(22);
+
+void BM_ConjugateGradient(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  kernels::StencilOperator a(n, n);
+  Rng rng(4);
+  std::vector<double> b(a.size()), x(a.size());
+  for (auto& v : b) v = rng.uniform();
+  for (auto _ : state) {
+    std::fill(x.begin(), x.end(), 0.0);
+    auto r = kernels::conjugateGradient(a, b, x, 1e-8, 2000);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_ConjugateGradient)->Arg(32)->Arg(64);
+
+void BM_ChronopoulosGearCG(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  kernels::StencilOperator a(n, n);
+  Rng rng(4);
+  std::vector<double> b(a.size()), x(a.size());
+  for (auto& v : b) v = rng.uniform();
+  for (auto _ : state) {
+    std::fill(x.begin(), x.end(), 0.0);
+    auto r = kernels::chronopoulosGearCG(a, b, x, 1e-8, 2000);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_ChronopoulosGearCG)->Arg(32)->Arg(64);
+
+void BM_LuFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> a0(n * n);
+  for (auto& v : a0) v = rng.uniform(-1, 1);
+  for (std::size_t i = 0; i < n; ++i) a0[i * n + i] += 4.0;
+  std::vector<double> a(n * n);
+  std::vector<std::int32_t> piv(n);
+  for (auto _ : state) {
+    a = a0;
+    kernels::luFactor(n, a, piv);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      kernels::hplFlops(static_cast<double>(n)) *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LuFactor)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Table 1 of the paper: system configuration summary for BG/L, BG/P, and
+// the Cray XT3/XT4 variants, printed from the machine registry.
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  (void)opts;
+
+  printBanner(std::cout, "Table 1: System Configuration Summary");
+  const auto machines = arch::allMachines();
+
+  std::vector<std::string> header{"Feature"};
+  for (const auto& m : machines) header.push_back(m.name);
+  Table t(header);
+
+  auto row = [&](const std::string& label,
+                 const std::function<std::string(const arch::MachineConfig&)>&
+                     fn) {
+    std::vector<std::string> cells{label};
+    for (const auto& m : machines) cells.push_back(fn(m));
+    t.addRow(std::move(cells));
+  };
+  char buf[64];
+  auto num = [&buf](double v, const char* fmt = "%g") {
+    std::snprintf(buf, sizeof buf, fmt, v);
+    return std::string(buf);
+  };
+
+  row("Processor", [](const auto& m) { return m.processor; });
+  row("Cores per node", [&](const auto& m) { return num(m.coresPerNode); });
+  row("Core clock (MHz)", [&](const auto& m) { return num(m.clockGHz * 1000); });
+  row("Cache coherence",
+      [](const auto& m) { return m.cacheCoherent ? std::string("Hardware")
+                                                 : std::string("Software"); });
+  row("L1 / core (KiB)", [&](const auto& m) { return num(m.l1KiB); });
+  row("Shared cache (MiB)", [&](const auto& m) { return num(m.l3MiB); });
+  row("Memory per node (GiB)",
+      [&](const auto& m) { return num(m.memPerNodeGiB); });
+  row("Memory BW (GB/s)", [&](const auto& m) { return num(m.memBWPerNodeGBs); });
+  row("Peak (GF/s per node)",
+      [&](const auto& m) { return num(m.peakFlopsPerNode() / 1e9, "%.1f"); });
+  row("Torus link (MB/s/dir)",
+      [&](const auto& m) { return num(m.linkBandwidthGBs * 1000); });
+  row("Torus injection (GB/s)", [&](const auto& m) {
+    return num(m.linkBandwidthGBs * m.torusLinksPerNode * 2, "%.1f");
+  });
+  row("Tree BW (MB/s)", [&](const auto& m) {
+    return m.hasTreeNetwork ? num(m.treeBandwidthGBs * 1000 * 2) : "n/a";
+  });
+  row("Barrier network", [](const auto& m) {
+    return m.hasBarrierNetwork ? std::string("yes") : std::string("no");
+  });
+  row("Max tasks per node",
+      [&](const auto& m) { return num(m.maxTasksPerNode); });
+  row("OpenMP", [](const auto& m) {
+    return m.supportsOpenMP ? std::string("yes") : std::string("no");
+  });
+  row("Cores per rack", [&](const auto& m) { return num(m.coresPerRack); });
+  row("W/core (HPL)", [&](const auto& m) { return num(m.wattsPerCoreHPL); });
+
+  t.print(std::cout);
+  bench::note("BG/P: 1.8 W per GF/s peak -> 4096 cores/rack without "
+              "liquid cooling (section I.A).");
+  return 0;
+}

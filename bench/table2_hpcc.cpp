@@ -1,0 +1,78 @@
+// Table 2 of the paper: HPCC single-process (SP), embarrassingly-parallel
+// (EP) and low-level communication tests, BG/P vs XT4/QC (VN mode).
+// The paper's measurements were taken at 4096 processes; the node tests
+// are process-count independent and the communication tests default to a
+// smaller partition (use --full for 4096).
+
+#include <iostream>
+
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+#include "hpcc/comm_tests.hpp"
+#include "hpcc/node_tests.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  const int commRanks = opts.full ? 4096 : 256;
+
+  printBanner(std::cout,
+              "Table 2: HPCC SP/EP and communication tests (BG/P vs XT4/QC, "
+              "VN mode)");
+
+  const auto bgp = arch::machineByName("BG/P");
+  const auto xt = arch::machineByName("XT4/QC");
+  const auto nb = hpcc::runNodeTests(bgp);
+  const auto nx = hpcc::runNodeTests(xt);
+  const auto cb = hpcc::runCommTests(bgp, commRanks);
+  const auto cx = hpcc::runCommTests(xt, commRanks);
+
+  Table t({"Test", "BG/P", "XT4/QC"});
+  char buf[64];
+  auto fmt = [&buf](double v, const char* f) {
+    std::snprintf(buf, sizeof buf, f, v);
+    return std::string(buf);
+  };
+  t.addRow({"DGEMM SP (GF/s)", fmt(nb.dgemmGflopsSP, "%.2f"),
+            fmt(nx.dgemmGflopsSP, "%.2f")});
+  t.addRow({"DGEMM EP (GF/s)", fmt(nb.dgemmGflopsEP, "%.2f"),
+            fmt(nx.dgemmGflopsEP, "%.2f")});
+  t.addRow({"STREAM Triad SP (GB/s)", fmt(nb.streamTriadGBsSP, "%.2f"),
+            fmt(nx.streamTriadGBsSP, "%.2f")});
+  t.addRow({"STREAM Triad EP (GB/s)", fmt(nb.streamTriadGBsEP, "%.2f"),
+            fmt(nx.streamTriadGBsEP, "%.2f")});
+  t.addRow({"FFT SP (GF/s)", fmt(nb.fftGflopsSP, "%.3f"),
+            fmt(nx.fftGflopsSP, "%.3f")});
+  t.addRow({"FFT EP (GF/s)", fmt(nb.fftGflopsEP, "%.3f"),
+            fmt(nx.fftGflopsEP, "%.3f")});
+  t.addRow({"RandomAccess SP (GUP/s)", fmt(nb.raGupsSP, "%.4f"),
+            fmt(nx.raGupsSP, "%.4f")});
+  t.addRow({"RandomAccess EP (GUP/s)", fmt(nb.raGupsEP, "%.4f"),
+            fmt(nx.raGupsEP, "%.4f")});
+  t.addRow({"PingPong latency (us)", fmt(cb.pingPongLatency * 1e6, "%.2f"),
+            fmt(cx.pingPongLatency * 1e6, "%.2f")});
+  t.addRow({"PingPong bandwidth (MB/s)",
+            fmt(cb.pingPongBandwidth / 1e6, "%.0f"),
+            fmt(cx.pingPongBandwidth / 1e6, "%.0f")});
+  t.addRow({"NaturalRing latency (us)",
+            fmt(cb.naturalRingLatency * 1e6, "%.2f"),
+            fmt(cx.naturalRingLatency * 1e6, "%.2f")});
+  t.addRow({"NaturalRing BW/proc (MB/s)",
+            fmt(cb.naturalRingBandwidth / 1e6, "%.0f"),
+            fmt(cx.naturalRingBandwidth / 1e6, "%.0f")});
+  t.addRow({"RandomRing latency (us)",
+            fmt(cb.randomRingLatency * 1e6, "%.2f"),
+            fmt(cx.randomRingLatency * 1e6, "%.2f")});
+  t.addRow({"RandomRing BW/proc (MB/s)",
+            fmt(cb.randomRingBandwidth / 1e6, "%.0f"),
+            fmt(cx.randomRingBandwidth / 1e6, "%.0f")});
+  t.print(std::cout);
+
+  bench::note("comm tests at " + std::to_string(commRanks) +
+              " processes (paper: 4096; pass --full).");
+  bench::note("Paper shape: XT wins DGEMM/FFT (clock), BG/P wins STREAM "
+              "EP decline and latency; XT wins bandwidth.");
+  return 0;
+}

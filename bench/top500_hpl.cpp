@@ -1,0 +1,51 @@
+// Section II.C of the paper: the TOP500 HPL run on the ORNL BG/P
+// (N=614399, NB=96, 64x128 grid, ~70% of memory) and its Green500 power
+// score, compared with the measured values: 2.140e4 GFlop/s (#74, June
+// 2008 TOP500) and 310.93 MFlops/W (#5 Green500).
+
+#include <iostream>
+
+#include "arch/machines.hpp"
+#include "bench/bench_common.hpp"
+#include "hpcc/hpl_model.hpp"
+#include "power/power_model.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  (void)opts;
+
+  printBanner(std::cout, "TOP500 HPL on the ORNL BG/P (section II.C)");
+
+  const net::System sys(arch::machineByName("BG/P"), 8192);
+  const hpcc::HplConfig cfg{614400, 96, 64, 128};
+  const auto r = hpcc::runHplModel(sys, cfg);
+
+  const double watts = power::systemPowerWatts(
+      arch::machineByName("BG/P"), 8192, power::LoadKind::HPL);
+  const double mfw = power::mflopsPerWatt(r.gflops * 1e9, watts);
+  const double memFill = static_cast<double>(cfg.n) * cfg.n * 8 /
+                         (8192.0 * sys.memPerTaskBytes());
+
+  Table t({"Quantity", "Simulated", "Paper"});
+  char buf[64];
+  auto f = [&buf](double v, const char* fmtStr) {
+    std::snprintf(buf, sizeof buf, fmtStr, v);
+    return std::string(buf);
+  };
+  t.addRow({"N", "614400", "614399"});
+  t.addRow({"NB", "96", "96"});
+  t.addRow({"Process grid", "64x128", "64x128"});
+  t.addRow({"Memory fill", f(memFill * 100, "%.0f%%"), "~70%"});
+  t.addRow({"Rmax (GFlop/s)", f(r.gflops, "%.0f"), "21400"});
+  t.addRow({"Efficiency vs peak", f(r.efficiency * 100, "%.1f%%"), "~77%"});
+  t.addRow({"Wall time (s)", f(r.seconds, "%.0f"), "-"});
+  t.addRow({"Aggregate power (kW)", f(watts / 1000, "%.0f"), "63"});
+  t.addRow({"MFlops/W", f(mfw, "%.1f"), "310.93"});
+  t.print(std::cout);
+
+  bench::note("Paper ranking: #74 June 2008 TOP500; #5 Green500.");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Example: explore how the choice of process-to-torus mapping changes the
+// cost of a 2-D halo exchange — the question Figure 2(c,d) of the paper
+// answers for BG/P.  Point it at any machine, rank count, grid shape and
+// halo size:
+//
+//   $ ./halo_mapping_explorer --ranks=1024 --rows=32 --words=2000
+//   $ ./halo_mapping_explorer --machine=XT4/QC --ranks=4096 --rows=64
+
+#include <iostream>
+
+#include "arch/machines.hpp"
+#include "microbench/halo.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "topo/mapping.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const Cli cli(argc, argv);
+  const int ranks = static_cast<int>(cli.getInt("ranks", 1024));
+  const int rows = static_cast<int>(cli.getInt("rows", 32));
+  const std::string machine = cli.get("machine", "BG/P");
+  const int words = static_cast<int>(cli.getInt("words", 2000));
+  if (ranks % rows != 0) {
+    std::cerr << "rows must divide ranks\n";
+    return 1;
+  }
+  const int cols = ranks / rows;
+
+  std::cout << "HALO on " << machine << ", " << ranks << " ranks as a "
+            << rows << "x" << cols << " virtual grid, halo " << words
+            << " words\n";
+
+  Table t({"mapping", "us/exchange", "vs best"});
+  struct Entry {
+    std::string mapping;
+    double us;
+  };
+  std::vector<Entry> entries;
+  for (const auto& order : topo::Mapping::paperOrders()) {
+    microbench::HaloConfig c;
+    c.machine = arch::machineByName(machine);
+    c.nranks = ranks;
+    c.gridRows = rows;
+    c.gridCols = cols;
+    c.mapping = order;
+    c.reps = 3;
+    entries.push_back({order, microbench::runHalo(c, words) * 1e6});
+  }
+  double best = 1e300;
+  for (const auto& e : entries) best = std::min(best, e.us);
+  char buf[64];
+  for (const auto& e : entries) {
+    std::snprintf(buf, sizeof buf, "%.1f", e.us);
+    std::string us = buf;
+    std::snprintf(buf, sizeof buf, "%.2fx", e.us / best);
+    t.addRow({e.mapping, us, buf});
+  }
+  t.print(std::cout);
+  std::cout << "\nTry --words=8 to see the paper's other finding: at small\n"
+               "halo sizes the mapping barely matters (latency dominates,\n"
+               "links never saturate).\n";
+  return 0;
+}

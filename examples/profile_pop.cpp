@@ -1,0 +1,79 @@
+// Example: use the runtime's built-in profiling (the simulator's stand-in
+// for the IBM HPC Toolkit the paper references) to see where POP's time
+// goes at different scales — compute, point-to-point waiting, or
+// collective waiting — and how the balance shifts as the machine grows.
+//
+//   $ ./profile_pop [--ranks=8000] [--machine="BG/P"]
+
+#include <iostream>
+
+#include "apps/app_common.hpp"
+#include "arch/machines.hpp"
+#include "smpi/simulation.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgp;
+  const Cli cli(argc, argv);
+  const std::string machine = cli.get("machine", "BG/P");
+  const int maxRanks = static_cast<int>(cli.getInt("ranks", 8000));
+
+  std::cout << "Phase profile of a POP-like day (baroclinic stencil + "
+               "barotropic solver) on "
+            << machine << "\n\n";
+
+  Table t({"ranks", "stencil s", "solver s", "waits s", "solver+wait %",
+           "imbalance"});
+  for (int ranks = 500; ranks <= maxRanks; ranks *= 2) {
+    smpi::Simulation sim(arch::machineByName(machine), ranks);
+    const double computePerRank = 400.0 / ranks;  // fixed total work
+    double stencil = 0, solver = 0;
+    sim.run([&](smpi::Rank& self) -> sim::Task {
+      for (int step = 0; step < 3; ++step) {
+        const double factor =
+            1.0 + 0.2 * apps::rankPerturbation(7, self.id());
+        const double t0 = self.now();
+        co_await self.compute(computePerRank * factor);
+        const int next = (self.id() + 1) % self.size();
+        const int prev = (self.id() + self.size() - 1) % self.size();
+        co_await self.sendrecv(next, 32768, prev);
+        const double t1 = self.now();
+        // The latency-bound solver: many small global reductions whose
+        // per-iteration cost does not shrink with the machine.
+        co_await self.compute(
+            2000 * self.collectiveCost(net::CollKind::Allreduce, 16));
+        co_await self.allreduce(16);
+        if (self.id() == 0) {
+          stencil += t1 - t0;
+          solver += self.now() - t1;
+        }
+      }
+    });
+    const auto p = sim.profile();
+    const double waits =
+        (p.p2pWaitSeconds + p.collWaitSeconds) / ranks;
+    char buf[64];
+    std::vector<std::string> row;
+    std::snprintf(buf, sizeof buf, "%d", ranks);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof buf, "%.3f", stencil);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof buf, "%.4f", solver);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof buf, "%.4f", waits);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof buf, "%.1f%%",
+                  (solver + waits) / (stencil + solver + waits) * 100);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof buf, "%.2f", p.computeImbalance);
+    row.emplace_back(buf);
+    t.addRow(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << "\nThe stencil shrinks with the machine; the latency-bound\n"
+               "solver does not — its share grows until it IS the runtime:\n"
+               "the strong-scaling wall every section-III application hits.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+#pragma once
+// Event-level barotropic solver: the 2-D implicit solve at the heart of
+// POP's scaling story (Figure 4), run as an actual simulated-MPI program —
+// per iteration, each rank exchanges halos with its four neighbors
+// (message-by-message through the torus) and joins one or two global
+// 8-byte reductions, depending on the solver variant.
+//
+// apps/pop.cpp charges `iterations x analytic-per-iteration cost` inside a
+// gate; this program is the full-fidelity counterpart used to validate
+// that shortcut (tests/hpl_sim_test.cpp::BarotropicSim*).
+
+#include "apps/pop.hpp"
+#include "arch/machine.hpp"
+
+namespace bgp::apps {
+
+struct BarotropicSimConfig {
+  arch::MachineConfig machine;
+  int nranks = 0;
+  PopSolver solver = PopSolver::ChronopoulosGear;
+  int iterations = 50;
+  /// Global 2-D grid (defaults to the POP tenth-degree barotropic grid).
+  std::int64_t nx = kPopNx;
+  std::int64_t ny = kPopNy;
+};
+
+struct BarotropicSimResult {
+  double secondsPerIteration = 0.0;
+  double totalSeconds = 0.0;
+  double collWaitFraction = 0.0;  // time blocked in reductions
+  std::uint64_t events = 0;
+};
+
+BarotropicSimResult runBarotropicSim(const BarotropicSimConfig& config);
+
+}  // namespace bgp::apps

@@ -1,0 +1,73 @@
+#pragma once
+// Proxy model of the Community Atmosphere Model (CAM) benchmarks of paper
+// section III.B / Figure 5: spectral Eulerian dycore at T42L26 and T85L26,
+// finite-volume dycore at 1.9x2.5 L26 and 0.47x0.63 L26, pure-MPI (VN)
+// versus hybrid MPI+OpenMP (SMP, 4 threads), on BG/P, XT3 and XT4/QC.
+//
+// CAM alternates a dynamics phase (spectral transforms with transpose
+// all-to-alls, or FV halo exchanges) and a physics phase (independent
+// column work, load-imbalanced unless the load-balancing option spends
+// extra communication).  MPI parallelism is capped by the latitude count,
+// which is why OpenMP is what lets the small benchmarks use more cores —
+// the paper's headline CAM finding.
+
+#include <string>
+
+#include "arch/machine.hpp"
+#include "io/io_model.hpp"
+
+namespace bgp::apps {
+
+enum class CamDycore { SpectralEulerian, FiniteVolume };
+
+struct CamProblem {
+  std::string name;
+  CamDycore dycore{};
+  int nlon = 0;
+  int nlat = 0;
+  int nlev = 26;
+  int stepsPerDay = 0;
+  /// Maximum useful MPI ranks (latitude-bound decomposition).
+  int maxMpiRanks() const;
+};
+
+/// The four benchmark problems of Figure 5.
+CamProblem camT42();
+CamProblem camT85();
+CamProblem camFvLowRes();   // FV 1.9x2.5 L26
+CamProblem camFvHighRes();  // FV 0.47x0.63 L26
+
+struct CamConfig {
+  arch::MachineConfig machine;
+  CamProblem problem;
+  int ncores = 0;
+  bool hybrid = false;  // true: SMP mode + OpenMP threads; false: pure MPI
+  bool loadBalance = true;
+  /// Include history-tape output in the timing.  The paper hit "a system
+  /// I/O performance issue on the BG/P" with CAM's writes and eliminated
+  /// it before collecting Figure 5's data — so the default here is off;
+  /// turning it on with IoPattern::SingleWriter reproduces the issue, and
+  /// IoPattern::Collective shows the cure.
+  bool writeHistory = false;
+  io::IoPattern historyPattern = io::IoPattern::SingleWriter;
+  /// Steps between history records.  Scaling/benchmark configurations
+  /// write frequently (the paper's CAM runs exposed the issue); production
+  /// climate runs write much less often.
+  int historyEverySteps = 4;
+  std::uint64_t seed = 1902;
+};
+
+struct CamResult {
+  bool feasible = false;  // false when pure MPI cannot use this many cores
+  double secondsPerDay = 0.0;
+  double sypd = 0.0;  // simulated years per day
+  double dynamicsSeconds = 0.0;
+  double physicsSeconds = 0.0;
+  double ioSeconds = 0.0;  // history output, when enabled
+  int mpiRanks = 0;
+  int threads = 1;
+};
+
+CamResult runCam(const CamConfig& config);
+
+}  // namespace bgp::apps

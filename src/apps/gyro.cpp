@@ -1,0 +1,148 @@
+#include "apps/gyro.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/app_common.hpp"
+#include "net/system.hpp"
+#include "support/expect.hpp"
+#include "support/units.hpp"
+
+namespace bgp::apps {
+
+namespace {
+// BG/L's per-core GYRO rate matched BG/P's almost exactly (Figure 7c):
+// 2.8 GF * 0.073 ~= 3.4 GF * 0.060.
+const EfficiencyTable kGyroEff{/*bgp=*/0.060, /*bgl=*/0.073, /*xt3=*/0.120,
+                               /*xt4dc=*/0.130, /*xt4qc=*/0.095};
+// Fraction of the distributed state transposed per step (two transposes
+// of the velocity-space arrays).
+constexpr double kTransposesPerStep = 2.0;
+constexpr double kBytesPerPoint = 16.0;  // complex double state
+// Sequenced small operations per step (field-solve pipeline, collision
+// operator stages): latency-bound, nearly machine-size-independent in
+// absolute time — which is why the faster XT4 processor "runs out of
+// work" sooner (paper's own explanation for Figure 7a).
+constexpr int kSmallOpsPerStep = 400;
+}  // namespace
+
+GyroProblem gyroB1Std() {
+  GyroProblem p;
+  p.name = "B1-std";
+  p.toroidalModes = 16;
+  p.gridPoints = 16LL * 140 * 8 * 8 * 20;  // 2.87M
+  // Kinetic electrons + collisions: heavy work per point.
+  p.flopsPerPointStep = 2.6e4;
+  p.replicatedBytes = 60e6;
+  p.fftBased = false;
+  return p;
+}
+
+GyroProblem gyroB3Gtc() {
+  GyroProblem p;
+  p.name = "B3-gtc";
+  p.toroidalModes = 64;
+  p.gridPoints = 64LL * 400 * 8 * 8 * 20;  // 32.8M
+  // Adiabatic ions, simple field solves, large timesteps: less work/point.
+  p.flopsPerPointStep = 3.4e3;
+  // Radial-domain working set replicated per task: exceeds BG/P's 512 MiB
+  // VN-mode allotment.
+  p.replicatedBytes = 620e6;
+  p.fftBased = true;
+  return p;
+}
+
+namespace {
+GyroResult runAtMode(const GyroConfig& config, arch::ExecMode mode) {
+  net::SystemOptions opts;
+  opts.mode = mode;
+  const net::System sys(config.machine, config.nranks, opts);
+
+  const double p = config.nranks;
+  const double pts = static_cast<double>(config.problem.gridPoints);
+  const double coreRate = config.machine.peakFlopsPerCore() *
+                          kGyroEff.of(config.machine);
+  const double compute = pts / p * config.problem.flopsPerPointStep / coreRate;
+
+  // Transposes run within toroidal-mode subgroups of size P/modes (or the
+  // whole job when P < modes would not happen: P is a multiple of modes).
+  const int groupSize =
+      std::max(1, config.nranks / config.problem.toroidalModes);
+  const double bytesPerPair =
+      pts / p * kBytesPerPoint / std::max(1, groupSize);
+  double comm = kTransposesPerStep *
+                sys.collectives().cost(net::CollKind::Alltoall, groupSize,
+                                       bytesPerPair, net::Dtype::Byte,
+                                       /*fullPartition=*/false);
+  comm += kSmallOpsPerStep *
+          sys.collectives().cost(net::CollKind::Allreduce, config.nranks,
+                                 128, net::Dtype::Double);
+  if (config.problem.fftBased) {
+    // Field solve FFTs add another round of small transposes + the
+    // per-step field reduction.
+    comm += sys.collectives().cost(net::CollKind::Alltoall, groupSize,
+                                   bytesPerPair * 0.25, net::Dtype::Byte,
+                                   false) +
+            sys.collectives().cost(net::CollKind::Allreduce, config.nranks,
+                                   64);
+  }
+
+  GyroResult r;
+  r.secondsPerStep = compute + comm;
+  r.modeUsed = mode;
+  r.commFraction = comm / r.secondsPerStep;
+  return r;
+}
+}  // namespace
+
+GyroResult runGyro(const GyroConfig& config) {
+  BGP_REQUIRE(config.nranks >= config.problem.toroidalModes);
+  BGP_REQUIRE_MSG(config.nranks % config.problem.toroidalModes == 0,
+                  config.problem.name + " requires multiples of " +
+                      std::to_string(config.problem.toroidalModes));
+  // Memory per task: replicated arrays + distributed share.
+  const double perTaskBytes =
+      config.problem.replicatedBytes +
+      static_cast<double>(config.problem.gridPoints) / config.nranks * 40.0 *
+          8.0;
+  // Prefer VN (most tasks per node); fall back when memory does not fit —
+  // the mechanism that lands B3-gtc in DUAL mode on BG/P.
+  for (arch::ExecMode mode :
+       {arch::ExecMode::VN, arch::ExecMode::DUAL, arch::ExecMode::SMP}) {
+    if (mode == arch::ExecMode::DUAL && config.machine.maxTasksPerNode < 2)
+      continue;
+    const double avail = arch::memPerTaskBytes(mode, config.machine);
+    if (perTaskBytes <= avail) return runAtMode(config, mode);
+  }
+  BGP_REQUIRE_MSG(false, config.problem.name + " does not fit on " +
+                             config.machine.name + " at any mode");
+  return {};
+}
+
+double runGyroWeak(const arch::MachineConfig& machine, int nranks,
+                   bool optimizedCollectives) {
+  BGP_REQUIRE(nranks >= 1);
+  net::SystemOptions opts;
+  opts.mode = arch::ExecMode::VN;
+  const net::System sys(machine, nranks, opts);
+  // Constant per-process grid (the ENERGY grid held fixed).
+  const double pointsPerRank = 260e3;
+  const double coreRate = machine.peakFlopsPerCore() * kGyroEff.of(machine);
+  const double compute = pointsPerRank * 3.4e3 / coreRate;
+  const int groupSize = std::max(1, nranks / 64);
+  const double bytesPerPair =
+      pointsPerRank * kBytesPerPoint / std::max(1, groupSize);
+  double comm = kTransposesPerStep *
+                sys.collectives().cost(net::CollKind::Alltoall, groupSize,
+                                       bytesPerPair, net::Dtype::Byte, false) +
+                kSmallOpsPerStep *
+                    sys.collectives().cost(net::CollKind::Allreduce, nranks,
+                                           128, net::Dtype::Double);
+  // The stock (untuned) all-to-alls the paper used on BG/P are poor for
+  // the small transpose groups that occur at 128-1024 cores — the range
+  // where Figure 7c shows BG/P trailing BG/L.
+  if (!optimizedCollectives && groupSize >= 2 && groupSize <= 16) comm *= 2.2;
+  return compute + comm;
+}
+
+}  // namespace bgp::apps

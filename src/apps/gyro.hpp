@@ -1,0 +1,61 @@
+#pragma once
+// Proxy model of GYRO, the Eulerian gyrokinetic-Maxwell solver (paper
+// section III.D, Figure 7).  GYRO propagates a five-dimensional grid with
+// a fourth-order explicit Eulerian scheme; the dominant communication is
+// MPI_ALLTOALL transposes of distributed arrays within toroidal-mode
+// subgroups.
+//
+// Problems:
+//  * B1-std  — 16 modes, 16x140x8x8x20 grid, multiples of 16 processes,
+//    kinetic electrons + collisions, no FFT;
+//  * B3-gtc  — 64 modes, 64x400x8x8x20 grid, multiples of 64, FFT-based
+//    field solves (vendor FFT), adiabatic ions only.  On BG/P its memory
+//    footprint forces DUAL mode (the paper's observation).
+//  * modified B3-gtc — the weak-scaling variant with the ENERGY grid held
+//    constant per process (Figure 7c).
+
+#include <string>
+
+#include "arch/exec_mode.hpp"
+#include "arch/machine.hpp"
+
+namespace bgp::apps {
+
+struct GyroProblem {
+  std::string name;
+  int toroidalModes = 0;
+  std::int64_t gridPoints = 0;  // product of the 5-D extents
+  double flopsPerPointStep = 0.0;
+  /// Replicated per-task arrays (bytes) — what forces DUAL mode on BG/P.
+  double replicatedBytes = 0.0;
+  bool fftBased = false;
+};
+
+GyroProblem gyroB1Std();
+GyroProblem gyroB3Gtc();
+
+struct GyroConfig {
+  arch::MachineConfig machine;
+  GyroProblem problem;
+  int nranks = 0;
+};
+
+struct GyroResult {
+  double secondsPerStep = 0.0;
+  arch::ExecMode modeUsed = arch::ExecMode::VN;
+  double commFraction = 0.0;
+};
+
+/// Strong-scaling run.  Picks the least-sharing execution mode that fits
+/// the memory footprint (VN if possible, else DUAL, else SMP) — on BG/P,
+/// B3-gtc lands in DUAL mode exactly as the paper reports.
+GyroResult runGyro(const GyroConfig& config);
+
+/// Weak-scaling step time for the modified B3-gtc problem: per-process
+/// grid held constant as ranks grow (Figure 7c).  `optimizedCollectives`
+/// models the vendor-tuned all-to-alls the paper did NOT enable on BG/P
+/// (their explanation for BG/P trailing BG/L at 128-1024 cores).
+double runGyroWeak(const arch::MachineConfig& machine, int nranks,
+                   bool optimizedCollectives);
+
+}  // namespace bgp::apps

@@ -1,0 +1,34 @@
+#pragma once
+// Proxy models of the molecular-dynamics benchmarks (paper section III.E,
+// Figure 8): LAMMPS and AMBER/PMEMD simulating the RuBisCO enzyme —
+// 290,220 atoms with explicit solvent, 150x150x135 A box, 10/11 A
+// cut-offs, 1 fs steps, particle-mesh Ewald electrostatics.
+//
+// LAMMPS: spatial decomposition, ghost-atom exchange with 6 neighbors,
+// distributed 3-D FFT for PME, modest output frequency — scales to
+// thousands of ranks.  PMEMD: communication volume per task grows faster
+// with rank count and the benchmark configuration writes output often, so
+// scaling saturates earlier — both paper observations.
+
+#include "arch/machine.hpp"
+
+namespace bgp::apps {
+
+enum class MdCode { LAMMPS, PMEMD };
+
+struct MdConfig {
+  arch::MachineConfig machine;
+  MdCode code = MdCode::LAMMPS;
+  int nranks = 0;
+  std::int64_t atoms = 290220;  // RuBisCO with explicit solvent
+};
+
+struct MdResult {
+  double secondsPerStep = 0.0;
+  double stepsPerSecond = 0.0;
+  double commFraction = 0.0;
+};
+
+MdResult runMd(const MdConfig& config);
+
+}  // namespace bgp::apps

@@ -1,0 +1,146 @@
+#include "apps/pop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/app_common.hpp"
+#include "smpi/simulation.hpp"
+#include "support/expect.hpp"
+
+namespace bgp::apps {
+
+namespace {
+
+// ---- calibration constants (see DESIGN.md §5 and validation_test.cpp) ----
+// Baroclinic flops per grid point per step: detailed tracer advection +
+// vertical mixing; calibrated against the paper's 3.6 SYD at 8192 BG/P
+// cores in VN mode.
+constexpr double kBaroclinicFlopsPerPointStep = 1065.0;
+constexpr int kStepsPerDay = 180;  // ~8-minute baroclinic step at 0.1 deg
+// Barotropic: implicit 2-D solve; iterations per baroclinic step at 0.1
+// degree without a strong preconditioner.
+constexpr int kSolverItersPerStep = 200;
+// Memory passes over the 2-D barotropic state per solver iteration
+// (residual, matvec, vector updates).
+constexpr double kBarotropicPassesPerIter = 4.0;
+// Extra local vector work of the fused C-G formulation.
+constexpr double kCgExtraWork = 1.20;
+// Static load-imbalance amplitude (land/ocean distribution): grows as
+// blocks shrink.
+double imbalanceAmplitude(int nranks) {
+  return 0.18 * std::pow(static_cast<double>(nranks) / 8192.0, 0.5);
+}
+// Sustained fraction of peak for the baroclinic stencil code.
+const EfficiencyTable kPopEff{/*bgp=*/0.055, /*bgl=*/0.050, /*xt3=*/0.145,
+                              /*xt4dc=*/0.155, /*xt4qc=*/0.105};
+
+}  // namespace
+
+PopResult runPop(const PopConfig& config) {
+  BGP_REQUIRE(config.nranks >= 2);
+  BGP_REQUIRE(config.simulatedDays >= 1);
+
+  net::SystemOptions opts;
+  opts.mode = config.mode;
+  // POP 1.4.3 is pure MPI: SMP mode leaves the other cores idle (which is
+  // why the paper finds performance "relatively insensitive" to the mode).
+  opts.useOpenMP = false;
+  smpi::Simulation sim(config.machine, config.nranks, opts);
+  const auto& sys = sim.system();
+
+  const double totalPoints = static_cast<double>(kPopNx) * kPopNy * kPopNz;
+  const double points2d = static_cast<double>(kPopNx) * kPopNy;
+  const double p = config.nranks;
+  const int threads = sys.threadsPerTask();
+
+  // --- baroclinic per day, per rank ---------------------------------------
+  const double eff = kPopEff.of(config.machine);
+  // Ghost-cell overhead: each block computes (edge+2*width)^2 points for
+  // edge^2 owned points; with halo width 2 this is what bends the strong-
+  // scaling curve once blocks get small.
+  const double blockEdge = std::sqrt(points2d / p);
+  const double ghostFactor =
+      ((blockEdge + 4.0) / blockEdge) * ((blockEdge + 4.0) / blockEdge);
+  const arch::Work baroclinicMean{
+      totalPoints / p * kBaroclinicFlopsPerPointStep * kStepsPerDay *
+          ghostFactor,
+      totalPoints / p * 8.0 * 6.0 * kStepsPerDay * ghostFactor,
+      eff};
+  // 2-D halo per step: block perimeter x depth x ghost width 2 x 8 B x a
+  // few exchanged fields.
+  const double haloBytes = 4.0 * blockEdge * kPopNz * 2.0 * 8.0 * 3.0;
+
+  // --- barotropic per-iteration cost (charged in-gate) ---------------------
+  const auto& coll = sys.collectives();
+  const int nranksI = config.nranks;
+  const double allreduce16 =
+      coll.cost(net::CollKind::Allreduce, nranksI, 16, net::Dtype::Double);
+  const int reductionsPerIter =
+      config.solver == PopSolver::StandardCG ? 2 : 1;
+  const double localScale =
+      config.solver == PopSolver::ChronopoulosGear ? kCgExtraWork : 1.0;
+  const arch::Work barotropicLocal{
+      points2d / p * 15.0 * localScale,
+      points2d / p * 8.0 * kBarotropicPassesPerIter * localScale, 0.25};
+  const double smallHaloLat =
+      sys.torusNetwork().latencyEstimate(0, sys.nodes() > 1 ? 1 : 0,
+                                         blockEdge * 8.0) *
+      2.0;  // two staged exchange phases per matvec
+  const double barotropicIterCost = sys.computeTime(barotropicLocal) +
+                                    smallHaloLat +
+                                    reductionsPerIter * allreduce16;
+  const int itersPerDay = kSolverItersPerStep * kStepsPerDay;
+
+  // --- run ------------------------------------------------------------------
+  const double amp = imbalanceAmplitude(config.nranks);
+  PopResult result;
+  double p0Baroclinic = 0, p0Barrier = 0, p0Barotropic = 0;
+
+  sim.run([&, threads](smpi::Rank& self) -> sim::Task {
+    (void)threads;
+    for (int day = 0; day < config.simulatedDays; ++day) {
+      // Baroclinic phase: per-rank land/ocean imbalance.
+      const double factor =
+          1.0 + amp * rankPerturbation(config.seed, self.id());
+      const double t0 = self.now();
+      co_await self.compute(sim.computeTime(baroclinicMean) * factor);
+      // Halo exchanges are folded in analytically (latency-dominated and
+      // overlapped in POP); charge the per-step halo on top.
+      co_await self.compute(
+          kStepsPerDay *
+          sys.torusNetwork().latencyEstimate(0, sys.nodes() > 1 ? 1 : 0,
+                                             haloBytes));
+      const double t1 = self.now();
+      if (config.timingBarrier) {
+        co_await self.barrier();
+      }
+      const double t2 = self.now();
+      // Barotropic phase: iters x per-iteration cost, gated by one real
+      // allreduce so every rank leaves the phase together.
+      co_await self.compute(itersPerDay * barotropicIterCost);
+      co_await self.allreduce(16);
+      const double t3 = self.now();
+      if (self.id() == 0) {
+        p0Baroclinic += t1 - t0;
+        p0Barrier += t2 - t1;
+        p0Barotropic += t3 - t2;
+      }
+    }
+    co_return;
+  });
+
+  const auto days = static_cast<double>(config.simulatedDays);
+  // Without the timing barrier (the XT methodology in Fig. 4(d)), the
+  // baroclinic imbalance lands in the barotropic timer, since the first
+  // collective of the solve is where laggards are awaited.
+  result.baroclinicSeconds = p0Baroclinic / days;
+  result.barrierSeconds = p0Barrier / days;
+  result.barotropicSeconds = p0Barotropic / days;
+  result.secondsPerDay =
+      (p0Baroclinic + p0Barrier + p0Barotropic) / days;
+  result.syd = sydFromSecondsPerDay(result.secondsPerDay);
+  result.solverIterationsPerDay = itersPerDay;
+  return result;
+}
+
+}  // namespace bgp::apps

@@ -1,0 +1,57 @@
+#pragma once
+// Proxy model of the Parallel Ocean Program (POP) tenth-degree benchmark
+// (paper section III.A, Figure 4; feeds Table 3's science-driven power
+// metric).
+//
+// POP alternates two phases per simulated step:
+//  * baroclinic — 3-D explicit update, nearest-neighbor halo exchanges,
+//    scales well everywhere; carries a static load imbalance (land/ocean
+//    distribution) that grows as blocks shrink;
+//  * barotropic — a 2-D implicit solve by conjugate gradient, two global
+//    8-byte reductions per iteration for the standard solver and one for
+//    the Chronopoulos-Gear (C-G) variant; latency-bound and the classic
+//    scaling limiter.
+//
+// The proxy runs event-level on the simulated runtime: each rank computes
+// its (imbalanced) baroclinic share, an explicitly timed barrier separates
+// the phases (the paper inserted exactly such a barrier to disambiguate
+// the timers), and the barotropic phase charges iters x per-iteration cost
+// with a real allreduce gating each simulated day.
+
+#include "arch/exec_mode.hpp"
+#include "arch/machine.hpp"
+
+namespace bgp::apps {
+
+enum class PopSolver { StandardCG, ChronopoulosGear };
+
+struct PopConfig {
+  arch::MachineConfig machine;
+  int nranks = 0;
+  arch::ExecMode mode = arch::ExecMode::VN;
+  PopSolver solver = PopSolver::ChronopoulosGear;
+  /// Insert the timing barrier between phases (paper methodology on BG/P;
+  /// the XT4 numbers in Fig. 4(d) were collected WITHOUT it, which leaves
+  /// baroclinic load imbalance contaminating the barotropic timer).
+  bool timingBarrier = true;
+  int simulatedDays = 1;
+  std::uint64_t seed = 1846;  // Maury's "Physical Geography of the Sea"
+};
+
+struct PopResult {
+  double secondsPerDay = 0.0;
+  double syd = 0.0;  // simulated years per wall-clock day
+  double baroclinicSeconds = 0.0;  // process-0 timer, per day
+  double barotropicSeconds = 0.0;  // process-0 timer, per day
+  double barrierSeconds = 0.0;     // process-0 share of the timing barrier
+  int solverIterationsPerDay = 0;
+};
+
+/// The benchmark grid: 3600 x 2400 horizontal, 40 vertical levels.
+inline constexpr std::int64_t kPopNx = 3600;
+inline constexpr std::int64_t kPopNy = 2400;
+inline constexpr std::int64_t kPopNz = 40;
+
+PopResult runPop(const PopConfig& config);
+
+}  // namespace bgp::apps

@@ -1,0 +1,30 @@
+#pragma once
+// Proxy model of S3D, the direct numerical simulation combustion solver
+// (paper section III.C, Figure 6): 3-D structured mesh, eighth-order
+// finite differences (nine-point stencils per direction), six-stage
+// Runge-Kutta, detailed CO-H2 chemistry with 11 species, 50^3 grid points
+// per MPI rank, weak scaling.  Communication is nearest-neighbor ghost
+// exchange only; global collectives appear only for monitoring.
+
+#include "arch/machine.hpp"
+
+namespace bgp::apps {
+
+struct S3dConfig {
+  arch::MachineConfig machine;
+  int nranks = 0;
+  int pointsPerRankEdge = 50;  // 50^3 per MPI rank, as in the paper
+  int steps = 10;
+};
+
+struct S3dResult {
+  double secondsPerStep = 0.0;
+  /// The paper's metric: computational cost in core-hours per grid point
+  /// per time step.
+  double coreHoursPerPointStep = 0.0;
+  double commFraction = 0.0;
+};
+
+S3dResult runS3d(const S3dConfig& config);
+
+}  // namespace bgp::apps

@@ -1,0 +1,87 @@
+#pragma once
+// Machine descriptions: every architectural parameter the simulator needs,
+// for each system the paper compares (Table 1), plus power figures
+// (Table 3).  Instances are created by the factory functions in
+// machines.hpp; each constant there carries a calibration comment.
+
+#include <string>
+
+namespace bgp::arch {
+
+struct MachineConfig {
+  std::string name;       // e.g. "BG/P"
+  std::string processor;  // e.g. "PowerPC 450"
+
+  // ---- node compute -------------------------------------------------------
+  int coresPerNode = 1;
+  double clockGHz = 1.0;
+  int flopsPerCyclePerCore = 1;  // FMA pipes * width * 2
+  double dgemmEfficiency = 0.9;  // fraction of peak sustained by DGEMM
+  bool cacheCoherent = true;
+  double l1KiB = 32;
+  double l3MiB = 0;  // shared on-chip cache (0 = none)
+
+  // ---- node memory --------------------------------------------------------
+  double memPerNodeGiB = 1.0;
+  double memBWPerNodeGBs = 1.0;      // saturated STREAM-triad node bandwidth
+  double streamSingleCoreGBs = 1.0;  // single-process triad bandwidth
+  double memLatencyNs = 100.0;       // dependent random-access latency
+
+  // ---- torus interconnect -------------------------------------------------
+  double linkBandwidthGBs = 0.4;  // raw per-directed-link bandwidth
+  double linkEfficiency = 0.9;    // protocol efficiency on the link
+  double hopLatency = 1e-7;       // router+wire delay per hop (s)
+  double swLatency = 1.5e-6;      // per-message MPI software cost, one side
+  double shmBandwidthGBs = 3.0;   // intra-node task-to-task copy bandwidth
+  double shmLatency = 8e-7;       // intra-node message latency
+  double eagerThresholdBytes = 1200;
+  int torusLinksPerNode = 6;
+  /// Fraction of the torus's nominal global-pattern (all-to-all/bisection)
+  /// bandwidth that jobs actually see.  BlueGene partitions are compact and
+  /// electrically isolated (~0.9); XT allocations are fragmented and share
+  /// links with other jobs — the effect the paper blames for PTRANS
+  /// variability and the unexpected RandomAccess parity (section II.A.3).
+  double allocationEfficiency = 0.9;
+
+  // ---- collective (tree) & barrier networks (BlueGene only) ---------------
+  bool hasTreeNetwork = false;
+  double treeBandwidthGBs = 0.0;   // per direction per link
+  double treeHopLatency = 0.0;     // per tree level
+  double treeBaseLatency = 0.0;    // fixed software cost of a tree op
+  bool treeAluDoubleSum = false;   // hardware double-precision reductions
+  double treeFloatPenalty = 1.0;   // per-byte slowdown for non-double types
+  bool hasBarrierNetwork = false;
+  double barrierNetworkLatency = 0.0;  // global-interrupt barrier (s)
+
+  // ---- operating system ------------------------------------------------------
+  /// OS noise: relative jitter on compute intervals.  The BlueGene CNK and
+  /// Catamount microkernels are effectively noiseless; Compute Node Linux
+  /// carries daemon/timer noise that bulk-synchronous codes amplify at
+  /// scale (every barrier waits for the unluckiest rank).
+  double osNoiseFraction = 0.0;
+
+  // ---- execution modes / threading ----------------------------------------
+  int maxTasksPerNode = 1;
+  bool supportsOpenMP = false;
+  double ompEfficiency = 0.9;  // marginal efficiency of each extra thread
+
+  // ---- power (Table 3 of the paper) ---------------------------------------
+  double wattsPerCoreHPL = 0.0;     // measured under HPL
+  double wattsPerCoreNormal = 0.0;  // measured under science workloads
+  double wattsPerCoreIdle = 0.0;
+
+  // ---- packaging (Table 1 / section I.A) -----------------------------------
+  int coresPerRack = 0;
+
+  // ---- derived -------------------------------------------------------------
+  double peakFlopsPerCore() const {
+    return clockGHz * 1e9 * flopsPerCyclePerCore;
+  }
+  double peakFlopsPerNode() const {
+    return peakFlopsPerCore() * coresPerNode;
+  }
+  /// Saturated STREAM bandwidth when `activeCores` cores stream at once.
+  double memBandwidth(int activeCores) const;
+};
+
+}  // namespace bgp::arch

@@ -1,0 +1,210 @@
+#include "arch/machines.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+// Calibration sources, referenced below as:
+//  [T1]  Table 1 of the paper (system configuration summary).
+//  [T3]  Table 3 of the paper (power comparison).
+//  [S1]  Section I.A (BG/P system description).
+//  [S2]  Section II (micro-benchmark discussion).
+//  [PUB] Publicly documented values for these systems (IBM BG/P application
+//        development redbook; Cray XT SeaStar documentation; HPCC results
+//        archives) where the paper does not state a number.
+
+namespace bgp::arch {
+
+double MachineConfig::memBandwidth(int activeCores) const {
+  BGP_REQUIRE(activeCores >= 1);
+  const int n = std::min(activeCores, coresPerNode);
+  // One core cannot saturate the controllers; bandwidth grows with active
+  // cores until the node limit.
+  return std::min(streamSingleCoreGBs * 1e9 * n, memBWPerNodeGBs * 1e9);
+}
+
+MachineConfig makeBGP() {
+  MachineConfig m;
+  m.name = "BG/P";
+  m.processor = "PowerPC 450";
+  m.coresPerNode = 4;           // [T1]
+  m.clockGHz = 0.85;            // [T1]
+  m.flopsPerCyclePerCore = 4;   // [S1] Double Hummer: 2 FMA/cycle
+  m.dgemmEfficiency = 0.89;     // [PUB] ESSL DGEMM ~3.0 of 3.4 GF/s per core
+  m.cacheCoherent = true;       // [T1] hardware coherence (unlike BG/L)
+  m.l1KiB = 32;                 // [T1]
+  m.l3MiB = 8;                  // [T1] shared eDRAM L3
+  m.memPerNodeGiB = 2;          // [T1]
+  m.memBWPerNodeGBs = 10.2;     // [T1] 13.6 peak; STREAM-achievable ~75%
+  m.streamSingleCoreGBs = 3.2;  // [S2] single process leaves BW on the table
+  m.memLatencyNs = 104;         // [PUB] embedded DDR2 controller
+  m.linkBandwidthGBs = 0.425;   // [S1] 425 MB/s per torus link direction
+  m.linkEfficiency = 0.88;      // [PUB] ~374 MB/s MPI-visible per link
+  m.hopLatency = 0.10e-6;       // [PUB] torus router ~100 ns/hop
+  m.swLatency = 1.45e-6;        // [PUB] => ~3 us nearest-neighbor MPI latency
+  m.shmBandwidthGBs = 3.0;      // [PUB] VN-mode shared-memory path
+  m.shmLatency = 0.8e-6;
+  m.eagerThresholdBytes = 1200;  // [PUB] DCMF default eager limit
+  m.allocationEfficiency = 0.90;  // compact, isolated partitions
+  m.hasTreeNetwork = true;       // [S1]
+  m.treeBandwidthGBs = 0.80;     // [S1] 850 MB/s raw per direction
+  m.treeHopLatency = 0.12e-6;    // [PUB] tree level traversal
+  m.treeBaseLatency = 2.2e-6;    // [PUB] software cost into the tree
+  m.treeAluDoubleSum = true;     // [S2] double-precision Allreduce fast path
+  m.treeFloatPenalty = 2.4;      // [S2] single precision markedly slower
+  m.hasBarrierNetwork = true;    // [S1] global interrupt network
+  m.barrierNetworkLatency = 1.3e-6;  // [PUB]
+  m.maxTasksPerNode = 4;             // [S1] VN mode
+  m.supportsOpenMP = true;           // [S1] SMP/DUAL modes
+  m.ompEfficiency = 0.90;
+  m.wattsPerCoreHPL = 7.7;     // [T3]
+  m.wattsPerCoreNormal = 7.3;  // [T3]
+  m.wattsPerCoreIdle = 5.4;    // [PUB] BlueGene idle draw ~70% of loaded
+  m.coresPerRack = 4096;       // [S1]
+  return m;
+}
+
+MachineConfig makeBGL() {
+  MachineConfig m;
+  m.name = "BG/L";
+  m.processor = "PowerPC 440";
+  m.coresPerNode = 2;           // [T1]
+  m.clockGHz = 0.70;            // [T1]
+  m.flopsPerCyclePerCore = 4;   // Double Hummer, as BG/P
+  m.dgemmEfficiency = 0.87;
+  m.cacheCoherent = false;      // [T1] software-managed coherence
+  m.l1KiB = 32;
+  m.l3MiB = 4;                  // [T1]
+  m.memPerNodeGiB = 1;          // [T1] 0.5-1 GB
+  m.memBWPerNodeGBs = 4.4;      // [T1] 5.6 peak
+  m.streamSingleCoreGBs = 2.6;
+  m.memLatencyNs = 95;
+  m.linkBandwidthGBs = 0.175;   // [PUB] 175 MB/s per link direction
+  m.linkEfficiency = 0.85;
+  m.hopLatency = 0.10e-6;
+  m.swLatency = 1.7e-6;
+  m.shmBandwidthGBs = 2.0;
+  m.shmLatency = 0.9e-6;
+  m.eagerThresholdBytes = 1000;
+  m.allocationEfficiency = 0.90;
+  m.hasTreeNetwork = true;
+  m.treeBandwidthGBs = 0.35;    // [T1] "tree bandwidth 700 MB/s" total
+  m.treeHopLatency = 0.15e-6;
+  m.treeBaseLatency = 2.8e-6;
+  m.treeAluDoubleSum = false;   // BG/L tree: integer combine only
+  m.treeFloatPenalty = 2.4;
+  m.hasBarrierNetwork = true;
+  m.barrierNetworkLatency = 1.5e-6;
+  m.maxTasksPerNode = 2;        // VN mode on BG/L
+  m.supportsOpenMP = false;     // no coherent node memory
+  m.ompEfficiency = 0.0;
+  m.wattsPerCoreHPL = 8.7;      // [PUB] Green500-era BG/L ~210 MF/W
+  m.wattsPerCoreNormal = 8.2;
+  m.wattsPerCoreIdle = 6.0;
+  m.coresPerRack = 2048;
+  return m;
+}
+
+namespace {
+MachineConfig xtCommon() {
+  MachineConfig m;
+  m.processor = "AMD Opteron";
+  m.cacheCoherent = true;  // [T1]
+  m.l1KiB = 64;            // [T1]
+  m.shmBandwidthGBs = 2.5;
+  m.shmLatency = 0.7e-6;
+  m.eagerThresholdBytes = 4096;  // [PUB] Portals eager limit
+  m.allocationEfficiency = 0.25;  // fragmented allocation, shared links [S2]
+  m.hasTreeNetwork = false;
+  m.hasBarrierNetwork = false;
+  m.supportsOpenMP = true;  // under CNL
+  m.ompEfficiency = 0.85;
+  m.osNoiseFraction = 0.010;  // [PUB] CNL-era daemon/timer jitter
+  return m;
+}
+}  // namespace
+
+MachineConfig makeXT3() {
+  MachineConfig m = xtCommon();
+  m.name = "XT3";
+  m.coresPerNode = 2;            // [T1]
+  m.clockGHz = 2.6;              // [T1]
+  m.flopsPerCyclePerCore = 2;    // pre-Barcelona Opteron: 1 add + 1 mul SSE2
+  m.dgemmEfficiency = 0.88;
+  m.l3MiB = 0;                   // 1 MiB private L2, no shared L3 [T1]
+  m.memPerNodeGiB = 4;           // [T1]
+  m.memBWPerNodeGBs = 5.2;       // [T1] 6.4 peak DDR
+  m.streamSingleCoreGBs = 4.0;
+  m.memLatencyNs = 80;  // [PUB] integrated Opteron memory controller
+  m.linkBandwidthGBs = 3.8;      // [PUB] SeaStar sustained per direction
+  m.linkEfficiency = 0.55;       // [PUB] ~2.1 GB/s MPI-visible
+  m.hopLatency = 0.08e-6;
+  m.swLatency = 2.6e-6;          // [PUB] ~5-6 us MPI latency
+  m.maxTasksPerNode = 2;
+  m.wattsPerCoreHPL = 55.0;      // [PUB] 95 W socket + memory + SeaStar
+  m.wattsPerCoreNormal = 52.0;
+  m.wattsPerCoreIdle = 38.0;
+  m.coresPerRack = 192;          // [S1]
+  return m;
+}
+
+MachineConfig makeXT4DC() {
+  MachineConfig m = xtCommon();
+  m.name = "XT4/DC";
+  m.coresPerNode = 2;           // [T1]
+  m.clockGHz = 2.6;             // [T1]
+  m.flopsPerCyclePerCore = 2;
+  m.dgemmEfficiency = 0.89;
+  m.l3MiB = 0;
+  m.memPerNodeGiB = 4;          // [T1]
+  m.memBWPerNodeGBs = 8.4;      // [T1] 10.6 peak DDR2-667
+  m.streamSingleCoreGBs = 5.0;
+  m.memLatencyNs = 78;
+  m.linkBandwidthGBs = 4.1;     // [PUB] SeaStar2
+  m.linkEfficiency = 0.55;
+  m.hopLatency = 0.07e-6;
+  m.swLatency = 2.4e-6;
+  m.maxTasksPerNode = 2;
+  m.wattsPerCoreHPL = 52.0;
+  m.wattsPerCoreNormal = 49.0;
+  m.wattsPerCoreIdle = 36.0;
+  m.coresPerRack = 192;
+  return m;
+}
+
+MachineConfig makeXT4QC() {
+  MachineConfig m = xtCommon();
+  m.name = "XT4/QC";
+  m.coresPerNode = 4;           // [T1]
+  m.clockGHz = 2.1;             // [T1]
+  m.flopsPerCyclePerCore = 4;   // [S2] Barcelona: 4 flops/cycle, like BG/P
+  m.dgemmEfficiency = 0.85;     // [PUB] ACML DGEMM ~7.1 of 8.4 GF/s
+  m.l3MiB = 2;                  // [T1] shared L3
+  m.memPerNodeGiB = 8;          // [S2] "four times as much memory per node"
+  m.memBWPerNodeGBs = 7.8;      // [T1] 12.8/10.6 peak; Barcelona achieves less
+  m.streamSingleCoreGBs = 5.8;  // [S2] declines sharply from SP to EP
+  m.memLatencyNs = 85;
+  m.linkBandwidthGBs = 4.1;     // SeaStar2
+  m.linkEfficiency = 0.55;
+  m.hopLatency = 0.07e-6;
+  m.swLatency = 3.1e-6;         // [PUB] CNL-era quad-core latency ~6.5 us
+  m.maxTasksPerNode = 4;
+  m.wattsPerCoreHPL = 51.0;     // [T3]
+  m.wattsPerCoreNormal = 48.4;  // [T3]
+  m.wattsPerCoreIdle = 35.0;
+  m.coresPerRack = 384;         // [S1]
+  return m;
+}
+
+std::vector<MachineConfig> allMachines() {
+  return {makeBGL(), makeBGP(), makeXT3(), makeXT4DC(), makeXT4QC()};
+}
+
+MachineConfig machineByName(const std::string& name) {
+  for (auto& m : allMachines())
+    if (m.name == name) return m;
+  BGP_REQUIRE_MSG(false, "unknown machine: " + name);
+  return {};  // unreachable
+}
+
+}  // namespace bgp::arch

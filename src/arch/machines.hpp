@@ -1,0 +1,34 @@
+#pragma once
+// Factory functions for the five machines the paper evaluates (Table 1),
+// plus a registry for lookup by name in the bench binaries.
+
+#include <vector>
+
+#include "arch/machine.hpp"
+
+namespace bgp::arch {
+
+/// IBM BlueGene/P: quad-core PowerPC 450 @ 850 MHz, Double Hummer FPU,
+/// 3-D torus + collective tree + barrier networks.
+MachineConfig makeBGP();
+
+/// IBM BlueGene/L: dual-core PowerPC 440 @ 700 MHz (BG/P's predecessor).
+MachineConfig makeBGL();
+
+/// Cray XT3: dual-core Opteron @ 2.6 GHz, SeaStar torus.
+MachineConfig makeXT3();
+
+/// Cray XT4 dual-core: Opteron @ 2.6 GHz, SeaStar2 torus.
+MachineConfig makeXT4DC();
+
+/// Cray XT4 quad-core: Opteron "Barcelona" @ 2.1 GHz, SeaStar2 torus.
+MachineConfig makeXT4QC();
+
+/// All five, in the column order of the paper's Table 1.
+std::vector<MachineConfig> allMachines();
+
+/// Lookup by the names used throughout the benches: "BG/P", "BG/L", "XT3",
+/// "XT4/DC", "XT4/QC" (case-sensitive).  Throws PreconditionError if absent.
+MachineConfig machineByName(const std::string& name);
+
+}  // namespace bgp::arch

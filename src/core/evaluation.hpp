@@ -1,0 +1,70 @@
+#pragma once
+// The evaluation framework — the public API the bench binaries and
+// examples are written against.  It packages the paper's methodology:
+// sweep a workload over process counts on several machines, collect the
+// series a figure plots, and render them as aligned tables (and CSV)
+// whose rows/series mirror the paper's tables and figures.
+
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "arch/machines.hpp"
+
+namespace bgp::core {
+
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Series {
+  std::string label;
+  std::vector<SeriesPoint> points;
+
+  /// y at the largest x.
+  double lastY() const;
+  /// y at x (exact match); throws if absent.
+  double yAt(double x) const;
+  bool hasX(double x) const;
+};
+
+/// One figure or table panel: a set of series over a common x-axis.
+class Figure {
+ public:
+  Figure(std::string title, std::string xLabel, std::string yLabel);
+
+  /// Adds a series and returns a reference that stays valid for the
+  /// Figure's lifetime (series are stored in a deque for this reason).
+  Series& addSeries(const std::string& label);
+  const std::deque<Series>& series() const { return series_; }
+  const Series& seriesNamed(const std::string& label) const;
+  const std::string& title() const { return title_; }
+
+  /// Renders as an aligned table: one row per distinct x, one column per
+  /// series ("-" where a series has no point).
+  void print(std::ostream& os, const char* fmt = "%.4g") const;
+  void printCsv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::string xLabel_;
+  std::string yLabel_;
+  std::deque<Series> series_;
+};
+
+/// Convenience: fills a series by evaluating `fn` at each x, skipping
+/// points where `fn` throws (e.g. infeasible configurations) or returns a
+/// non-finite value.
+void sweep(Series& out, const std::vector<double>& xs,
+           const std::function<double(double)>& fn);
+
+/// Standard process-count sweeps used throughout the benches.
+std::vector<double> powersOfTwo(int from, int to);
+
+/// Ratio of two series at their common x values (a / b).
+std::vector<SeriesPoint> ratio(const Series& a, const Series& b);
+
+}  // namespace bgp::core

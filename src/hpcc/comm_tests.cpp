@@ -1,0 +1,124 @@
+#include "hpcc/comm_tests.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "smpi/simulation.hpp"
+#include "support/rng.hpp"
+
+namespace bgp::hpcc {
+
+namespace {
+
+/// Ping-pong between the first rank and a rank several hops away,
+/// as HPCC's min/avg/max ping-pong sampling does.
+void pingPong(const arch::MachineConfig& machine, int nranks,
+              double& latencyOut, double& bandwidthOut) {
+  {
+    smpi::Simulation sim(machine, nranks);
+    const int peer = nranks / 2;
+    double lat = 0;
+    sim.run([&](smpi::Rank& self) -> sim::Task {
+      const int reps = 20;
+      if (self.id() == 0) {
+        const double t0 = self.now();
+        for (int i = 0; i < reps; ++i) {
+          co_await self.send(peer, 8);
+          co_await self.recv(peer);
+        }
+        lat = (self.now() - t0) / (2.0 * reps);
+      } else if (self.id() == peer) {
+        for (int i = 0; i < reps; ++i) {
+          co_await self.recv(0);
+          co_await self.send(0, 8);
+        }
+      }
+      co_return;
+    });
+    latencyOut = lat;
+  }
+  {
+    smpi::Simulation sim(machine, nranks);
+    const int peer = nranks / 2;
+    const double bytes = 2e6;
+    double bw = 0;
+    sim.run([&](smpi::Rank& self) -> sim::Task {
+      const int reps = 4;
+      if (self.id() == 0) {
+        const double t0 = self.now();
+        for (int i = 0; i < reps; ++i) {
+          co_await self.send(peer, bytes);
+          co_await self.recv(peer);
+        }
+        bw = bytes * 2 * reps / (self.now() - t0);
+      } else if (self.id() == peer) {
+        for (int i = 0; i < reps; ++i) {
+          co_await self.recv(0);
+          co_await self.send(0, bytes);
+        }
+      }
+      co_return;
+    });
+    bandwidthOut = bw;
+  }
+}
+
+/// Ring exchange: every rank sendrecvs with both ring neighbors.  The
+/// natural ring follows rank order; the random ring uses a random
+/// permutation (long routes, heavy link sharing).
+void ring(const arch::MachineConfig& machine, int nranks, bool random,
+          std::uint64_t seed, double& latencyOut, double& bandwidthOut) {
+  std::vector<int> perm(static_cast<std::size_t>(nranks));
+  std::iota(perm.begin(), perm.end(), 0);
+  if (random) {
+    Rng rng(seed);
+    for (std::size_t i = perm.size(); i > 1; --i)
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  std::vector<int> posOf(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) posOf[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+
+  auto runOnce = [&](double bytes) {
+    smpi::Simulation sim(machine, nranks);
+    double elapsed = 0;
+    sim.run([&](smpi::Rank& self) -> sim::Task {
+      const int pos = posOf[static_cast<std::size_t>(self.id())];
+      const int next = perm[static_cast<std::size_t>((pos + 1) % nranks)];
+      const int prev =
+          perm[static_cast<std::size_t>((pos + nranks - 1) % nranks)];
+      co_await self.barrier();
+      const double t0 = self.now();
+      const int reps = 3;
+      for (int i = 0; i < reps; ++i) {
+        // Both directions, as the HPCC ring test does.
+        co_await self.sendrecv(next, bytes, prev);
+        co_await self.sendrecv(prev, bytes, next);
+      }
+      co_await self.barrier();
+      if (self.id() == 0) elapsed = (self.now() - t0) / (2.0 * reps);
+      co_return;
+    });
+    return elapsed;
+  };
+
+  latencyOut = runOnce(8.0);
+  const double bytes = 2e6;
+  const double t = runOnce(bytes);
+  bandwidthOut = 2.0 * bytes / t;  // per-process: two messages per step
+}
+
+}  // namespace
+
+CommTestResult runCommTests(const arch::MachineConfig& machine, int nranks,
+                            std::uint64_t seed) {
+  BGP_REQUIRE(nranks >= 4);
+  CommTestResult r;
+  pingPong(machine, nranks, r.pingPongLatency, r.pingPongBandwidth);
+  ring(machine, nranks, false, seed, r.naturalRingLatency,
+       r.naturalRingBandwidth);
+  ring(machine, nranks, true, seed, r.randomRingLatency,
+       r.randomRingBandwidth);
+  return r;
+}
+
+}  // namespace bgp::hpcc

@@ -1,0 +1,25 @@
+#pragma once
+// HPCC low-level communication tests (Table 2): ping-pong latency and
+// bandwidth, and the natural-ring / random-ring aggregate tests.  These
+// run event-level on the simulated MPI runtime.
+
+#include "arch/machine.hpp"
+#include "net/system.hpp"
+
+namespace bgp::hpcc {
+
+struct CommTestResult {
+  double pingPongLatency = 0.0;    // s, 8-byte one-way
+  double pingPongBandwidth = 0.0;  // bytes/s, 2 MB messages
+  double naturalRingLatency = 0.0;
+  double naturalRingBandwidth = 0.0;  // per-process
+  double randomRingLatency = 0.0;
+  double randomRingBandwidth = 0.0;  // per-process
+};
+
+/// Runs the communication micro-benchmarks on `nranks` ranks of `machine`
+/// in VN mode (the paper's configuration).
+CommTestResult runCommTests(const arch::MachineConfig& machine, int nranks,
+                            std::uint64_t seed = 2008);
+
+}  // namespace bgp::hpcc

@@ -1,0 +1,129 @@
+#include "hpcc/hpcc_sim.hpp"
+
+#include <cmath>
+
+#include "kernels/fft.hpp"
+#include "smpi/coll_algorithms.hpp"
+#include "smpi/simulation.hpp"
+#include "support/expect.hpp"
+#include "support/units.hpp"
+#include "topo/process_grid.hpp"
+
+namespace bgp::hpcc {
+
+PtransSimResult runPtransSimulation(const arch::MachineConfig& machine,
+                                    std::int64_t n, int gridP, int gridQ) {
+  BGP_REQUIRE(n > 0 && gridP >= 1 && gridQ >= 1);
+  const int nranks = gridP * gridQ;
+  smpi::Simulation sim(machine, nranks);
+
+  const double matrixBytes = static_cast<double>(n) * n * 8.0;
+  const double blockBytes = matrixBytes / nranks;
+  const topo::ProcessGrid2D grid(gridP, gridQ);
+
+  double makespan = 0.0;
+  sim.run([&](smpi::Rank& self) -> sim::Task {
+    const int row = grid.rowOf(self.id());
+    const int col = grid.colOf(self.id());
+    // Transposed-block partner on the conjugate grid position (wrapped for
+    // non-square grids, as the block-cyclic layout does).
+    const int partner =
+        static_cast<int>(grid.rankAt(col % gridP, row % gridQ));
+
+    co_await self.barrier();
+    const double t0 = self.now();
+    if (partner != self.id()) {
+      co_await self.sendrecv(partner, blockBytes, partner, 60, 60);
+    }
+    // Local transpose + add: two passes over the block.
+    co_await self.compute(
+        arch::Work{blockBytes / 8.0, 2.0 * blockBytes, 1.0});
+    co_await self.barrier();
+    if (self.id() == 0) makespan = self.now() - t0;
+    co_return;
+  });
+
+  PtransSimResult r;
+  r.seconds = makespan;
+  r.gbPerSec = matrixBytes / makespan / units::GB;
+  return r;
+}
+
+FftSimResult runFftSimulation(const arch::MachineConfig& machine,
+                              std::int64_t n, int nranks) {
+  BGP_REQUIRE(n > 0 && nranks >= 2);
+  smpi::Simulation sim(machine, nranks);
+
+  const double nD = static_cast<double>(n);
+  const double flops = kernels::fftFlops(static_cast<std::size_t>(n));
+  const double perRankPoints = nD / nranks;
+  const double bytesPerPair = nD * 16.0 / (static_cast<double>(nranks) *
+                                           static_cast<double>(nranks));
+  const double localSweeps = std::log2(std::max(2.0, perRankPoints));
+
+  double makespan = 0.0;
+  sim.run([&](smpi::Rank& self) -> sim::Task {
+    co_await self.barrier();
+    const double t0 = self.now();
+    smpi::Comm& world = self.sim().world();
+    for (int phase = 0; phase < 3; ++phase) {
+      // A third of the butterfly passes between each transpose.
+      co_await self.compute(arch::Work{
+          flops / nranks / 3.0,
+          perRankPoints * 16.0 * localSweeps * 0.10, 0.18});
+      co_await smpi::algo::alltoallPairwise(self, world, bytesPerPair);
+    }
+    co_await self.barrier();
+    if (self.id() == 0) makespan = self.now() - t0;
+    co_return;
+  });
+
+  FftSimResult r;
+  r.seconds = makespan;
+  r.gflops = flops / makespan / units::GFlops;
+  return r;
+}
+
+RaSimResult runRaSimulation(const arch::MachineConfig& machine,
+                            std::int64_t tableWords, int nranks) {
+  BGP_REQUIRE(tableWords > 0);
+  BGP_REQUIRE_MSG(nranks >= 2 && (nranks & (nranks - 1)) == 0,
+                  "SANDIA_OPT2 requires power-of-two ranks");
+  smpi::Simulation sim(machine, nranks);
+
+  const double updates = 4.0 * static_cast<double>(tableWords);
+  const double perRankUpdates = updates / nranks;
+  const double localWordsPerRank =
+      static_cast<double>(tableWords) / nranks;
+
+  double makespan = 0.0;
+  sim.run([&](smpi::Rank& self) -> sim::Task {
+    co_await self.barrier();
+    const double t0 = self.now();
+    const int r = self.id();
+    // Hypercube routing: each stage exchanges half of the in-flight
+    // updates (8 bytes each) with the dimension partner.
+    for (int mask = 1; mask < self.size(); mask <<= 1) {
+      const int partner = r ^ mask;
+      co_await self.sendrecv(partner, perRankUpdates * 0.5 * 8.0, partner,
+                             70 + mask, 70 + mask);
+    }
+    // Local application: dependent random XORs over the local table slice.
+    const double lookaheadOverlap = 4.0;
+    co_await self.compute(perRankUpdates *
+                          (self.sim().system().machine().memLatencyNs *
+                           1e-9) /
+                          lookaheadOverlap);
+    (void)localWordsPerRank;
+    co_await self.barrier();
+    if (self.id() == 0) makespan = self.now() - t0;
+    co_return;
+  });
+
+  RaSimResult r;
+  r.seconds = makespan;
+  r.gups = updates / makespan / 1e9;
+  return r;
+}
+
+}  // namespace bgp::hpcc

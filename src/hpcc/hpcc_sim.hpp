@@ -1,0 +1,50 @@
+#pragma once
+// Event-level programs for the remaining HPCC MPI-parallel tests (PTRANS,
+// global FFT, RandomAccess), completing the fidelity family started by
+// hpl_sim.hpp: every analytic model in hpcc/parallel_models.hpp has a
+// counterpart here that routes its actual communication pattern through
+// the simulated machine.
+//
+// These run the benchmarks' structure at reduced problem sizes (the
+// communication pattern, not the arithmetic, is what is being validated);
+// tests cross-check them against the analytic models.
+
+#include <cstdint>
+
+#include "arch/machine.hpp"
+
+namespace bgp::hpcc {
+
+struct PtransSimResult {
+  double seconds = 0.0;
+  double gbPerSec = 0.0;
+};
+
+/// A + B^T over an n x n matrix block-distributed on a P x Q grid: each
+/// rank pairwise-exchanges its blocks with the transposed owner, then
+/// pays the local transpose-and-add memory traffic.
+PtransSimResult runPtransSimulation(const arch::MachineConfig& machine,
+                                    std::int64_t n, int gridP, int gridQ);
+
+struct FftSimResult {
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+/// Distributed 1-D complex FFT of length n on `nranks` ranks: local
+/// butterfly passes separated by three all-to-all transposes.
+FftSimResult runFftSimulation(const arch::MachineConfig& machine,
+                              std::int64_t n, int nranks);
+
+struct RaSimResult {
+  double seconds = 0.0;
+  double gups = 0.0;
+};
+
+/// RandomAccess with the SANDIA_OPT2 hypercube routing: log2(P) stages,
+/// each forwarding half of the in-flight updates to the partner, then the
+/// local table XORs.  Power-of-two ranks.
+RaSimResult runRaSimulation(const arch::MachineConfig& machine,
+                            std::int64_t tableWords, int nranks);
+
+}  // namespace bgp::hpcc

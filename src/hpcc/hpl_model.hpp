@@ -1,0 +1,44 @@
+#pragma once
+// Performance model of High Performance Linpack on a simulated machine.
+//
+// The model walks HPL's actual algorithm structure panel by panel — panel
+// factorization with per-column pivot reductions, panel broadcast along
+// process-grid rows, U exchange along columns, and the DGEMM trailing
+// update — charging each phase against the machine's node and network
+// models.  Look-ahead is modeled by overlapping the panel pipeline with
+// the previous update, as tuned HPL configurations do.  Feeds Figure 1(a),
+// the TOP500/Green500 run of section II.C, and Table 3.
+
+#include <cstdint>
+
+#include "net/system.hpp"
+
+namespace bgp::hpcc {
+
+struct HplConfig {
+  std::int64_t n = 0;  // problem order
+  int nb = 0;          // blocking factor (paper: 144 BG/P, 168 XT for HPCC;
+                       // 96 for the BG/P TOP500 run)
+  int gridP = 0;       // process grid rows
+  int gridQ = 0;       // process grid cols
+};
+
+struct HplResult {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double efficiency = 0.0;  // fraction of allocated peak
+  double updateSeconds = 0.0;
+  double panelSeconds = 0.0;
+  double commSeconds = 0.0;
+};
+
+/// Chooses N so the matrix fills `memFraction` of the partition's memory
+/// (the HPCC guidance the paper followed: ~80%), rounded down to a
+/// multiple of nb, and a near-square P x Q grid with P <= Q.
+HplConfig hplConfigFor(const net::System& system, double memFraction,
+                       int nb);
+
+/// Runs the panel-loop model.
+HplResult runHplModel(const net::System& system, const HplConfig& config);
+
+}  // namespace bgp::hpcc

@@ -1,0 +1,45 @@
+#include "hpcc/node_tests.hpp"
+
+#include "arch/node_model.hpp"
+#include "kernels/fft.hpp"
+#include "support/units.hpp"
+
+namespace bgp::hpcc {
+
+NodeTestResult runNodeTests(const arch::MachineConfig& machine) {
+  const arch::NodeModel nm(machine);
+  NodeTestResult r;
+
+  // DGEMM: compute-bound at the library's efficiency; N sized to memory so
+  // cache effects wash out.  SP == EP per process (no shared resource
+  // pressure for a compute-bound kernel), modulo a small EP tax.
+  const arch::Work dgemm{1e9, 5e6, machine.dgemmEfficiency};
+  r.dgemmGflopsSP = nm.flopRate(dgemm, 1, 1) / units::GFlops;
+  r.dgemmGflopsEP =
+      0.985 * nm.flopRate(dgemm, 1, machine.coresPerNode) / units::GFlops;
+
+  // STREAM Triad: pure bandwidth.  SP gets the single-core bandwidth; EP
+  // splits the saturated node bandwidth across all cores.
+  r.streamTriadGBsSP = machine.streamSingleCoreGBs;
+  r.streamTriadGBsEP =
+      machine.memBWPerNodeGBs / machine.coresPerNode;
+
+  // FFT (stock HPCC implementation, not the vendor library): low
+  // arithmetic intensity; mostly bound by streaming log(n) passes.
+  const double n = 1 << 20;
+  const arch::Work fftWork{kernels::fftFlops(1 << 20), n * 16.0 * 6.0, 0.18};
+  r.fftGflopsSP =
+      kernels::fftFlops(1 << 20) / nm.time(fftWork, 1, 1) / units::GFlops;
+  r.fftGflopsEP = kernels::fftFlops(1 << 20) /
+                  nm.time(fftWork, 1, machine.coresPerNode) / units::GFlops;
+
+  // RandomAccess: dependent random access latency with modest overlap.
+  const double overlap = 4.0;
+  r.raGupsSP = overlap / (machine.memLatencyNs * 1e-9) / 1e9;
+  // EP: all cores issue misses into the same controllers; model a 40%
+  // per-core throughput loss at full occupancy.
+  r.raGupsEP = r.raGupsSP * 0.6;
+  return r;
+}
+
+}  // namespace bgp::hpcc

@@ -1,0 +1,25 @@
+#pragma once
+// The HPCC single-process (SP) and embarrassingly-parallel (EP) node tests
+// of Table 2: DGEMM, STREAM Triad, FFT, and RandomAccess rates for one
+// process running alone versus every core running the same kernel.
+
+#include "net/system.hpp"
+
+namespace bgp::hpcc {
+
+struct NodeTestResult {
+  double dgemmGflopsSP = 0.0;   // one process per node
+  double dgemmGflopsEP = 0.0;   // all cores busy
+  double streamTriadGBsSP = 0.0;
+  double streamTriadGBsEP = 0.0;
+  double fftGflopsSP = 0.0;
+  double fftGflopsEP = 0.0;
+  double raGupsSP = 0.0;
+  double raGupsEP = 0.0;
+};
+
+/// Evaluates the SP/EP kernels for one machine (per-process rates, as HPCC
+/// reports them).
+NodeTestResult runNodeTests(const arch::MachineConfig& machine);
+
+}  // namespace bgp::hpcc

@@ -1,0 +1,133 @@
+#include "hpcc/parallel_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/fft.hpp"
+#include "support/expect.hpp"
+#include "support/units.hpp"
+
+namespace bgp::hpcc {
+
+namespace {
+/// Largest power of two <= v.
+std::int64_t floorPow2(double v) {
+  std::int64_t p = 1;
+  while (static_cast<double>(p) * 2.0 <= v) p *= 2;
+  return p;
+}
+}  // namespace
+
+PtransResult runPtransModel(const net::System& system, double memFraction) {
+  BGP_REQUIRE(memFraction > 0 && memFraction <= 1);
+  const double totalBytes =
+      static_cast<double>(system.nranks()) * system.memPerTaskBytes();
+  // PTRANS holds A, B and work space: size the matrix at ~a third of the
+  // HPL footprint, as the HPCC input generator does.
+  PtransResult r;
+  r.n = static_cast<std::int64_t>(
+      std::sqrt(memFraction * totalBytes / (3.0 * sizeof(double))));
+  const double matrixBytes =
+      static_cast<double>(r.n) * static_cast<double>(r.n) * sizeof(double);
+
+  const auto& net = system.torusNetwork();
+  const double alloc = system.machine().allocationEfficiency;
+  const double perRankBytes = matrixBytes / static_cast<double>(system.nranks());
+  // Pairwise block exchange: every byte leaves its node (except the
+  // diagonal blocks) and roughly half the volume crosses the bisection.
+  // Global patterns see only allocationEfficiency of nominal bandwidth.
+  const double injection =
+      perRankBytes /
+      (net.params().linkBandwidth / system.tasksPerNode() * alloc);
+  const double bisection =
+      0.5 * matrixBytes / (net.bisectionBandwidth() * alloc);
+  // Local transpose + add passes through memory twice.
+  const double local =
+      system.computeTime(arch::Work{perRankBytes / 8.0, 2.0 * perRankBytes, 1.0});
+  const double latency = std::ceil(std::log2(std::max<std::int64_t>(
+                             2, system.nranks()))) *
+                         (2 * system.machine().swLatency);
+  r.seconds = std::max(injection, bisection) + local + latency;
+  r.gbPerSec = matrixBytes / r.seconds / units::GB;
+  return r;
+}
+
+FftResult runFftModel(const net::System& system, double memFraction) {
+  BGP_REQUIRE(memFraction > 0 && memFraction <= 1);
+  const double totalBytes =
+      static_cast<double>(system.nranks()) * system.memPerTaskBytes();
+  FftResult r;
+  // Complex vector plus two work buffers: 3 * 16 bytes per point.
+  r.n = floorPow2(memFraction * totalBytes / (3.0 * 16.0));
+  const double nD = static_cast<double>(r.n);
+  const double flops = kernels::fftFlops(static_cast<std::size_t>(r.n));
+
+  // Local butterfly passes: FFT streams the whole vector log(n_local)
+  // times with low arithmetic intensity; model as memory-bound sweeps
+  // plus flops at a modest efficiency (stock HPCC FFT, not ESSL).
+  const double perRankPoints = nD / static_cast<double>(system.nranks());
+  const double localSweeps = std::log2(std::max(2.0, perRankPoints));
+  const arch::Work localWork{flops / static_cast<double>(system.nranks()),
+                             perRankPoints * 16.0 * localSweeps * 0.30, 0.18};
+  r.computeSeconds = system.computeTime(localWork);
+
+  // Three all-to-all transposes of the full vector.
+  const double bytesPerPair =
+      nD * 16.0 / (static_cast<double>(system.nranks()) *
+                   static_cast<double>(system.nranks()));
+  r.transposeSeconds =
+      3.0 * system.collectiveCost(net::CollKind::Alltoall, bytesPerPair);
+  r.seconds = r.computeSeconds + r.transposeSeconds;
+  r.gflops = flops / r.seconds / units::GFlops;
+  return r;
+}
+
+RaResult runRaModel(const net::System& system, double memFraction,
+                    RaAlgorithm algo) {
+  BGP_REQUIRE(memFraction > 0 && memFraction <= 1);
+  const double totalBytes =
+      static_cast<double>(system.nranks()) * system.memPerTaskBytes();
+  RaResult r;
+  r.tableWords = floorPow2(memFraction * totalBytes / sizeof(std::uint64_t));
+  // The benchmark issues 4 updates per table word.
+  const double updates = 4.0 * static_cast<double>(r.tableWords);
+  const double perRankUpdates = updates / static_cast<double>(system.nranks());
+
+  const arch::MachineConfig& m = system.machine();
+  // Local cost: every update is a dependent random read-modify-write far
+  // outside cache.  With `lookahead` independent streams in flight the
+  // latency partially overlaps (the benchmark allows 1024 outstanding).
+  const double lookaheadOverlap = 4.0;
+  const double localSeconds =
+      perRankUpdates * (m.memLatencyNs * 1e-9) / lookaheadOverlap;
+
+  // Network cost: updates are bucketed and exchanged.
+  const double stages =
+      algo == RaAlgorithm::SandiaOpt2
+          ? std::ceil(std::log2(std::max<std::int64_t>(2, system.nranks())))
+          : 1.0;
+  const auto& net = system.torusNetwork();
+  const double linkShare = net.params().linkBandwidth /
+                           system.tasksPerNode() *
+                           system.machine().allocationEfficiency;
+  double netSeconds;
+  if (algo == RaAlgorithm::SandiaOpt2) {
+    // Hypercube: each stage forwards ~half of the local updates (8 B each).
+    netSeconds = stages * (perRankUpdates * 0.5 * 8.0 / linkShare);
+  } else {
+    // Stock: direct sends in small buckets to random destinations; pays
+    // per-bucket latency and crosses the bisection.
+    const double bucket = 1024.0 * 8.0;
+    const double buckets = perRankUpdates * 8.0 / bucket;
+    const double latency = buckets * 2.0 * m.swLatency;
+    const double bisection =
+        0.5 * updates * 8.0 /
+        (net.bisectionBandwidth() * system.machine().allocationEfficiency);
+    netSeconds = latency + bisection;
+  }
+  r.seconds = std::max(localSeconds, netSeconds);
+  r.gups = updates / r.seconds / 1e9;
+  return r;
+}
+
+}  // namespace bgp::hpcc

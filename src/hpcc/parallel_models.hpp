@@ -1,0 +1,54 @@
+#pragma once
+// Models of the remaining HPCC MPI-parallel tests: PTRANS, global FFT, and
+// RandomAccess — Figure 1(b,c,d) of the paper.  Each follows the reference
+// benchmark's algorithm structure and charges the machine models.
+
+#include <cstdint>
+
+#include "net/system.hpp"
+
+namespace bgp::hpcc {
+
+// ---- PTRANS -----------------------------------------------------------------
+// A = A + B^T on an n x n matrix block-cyclic over a P x Q grid.  The
+// transpose is a pairwise block exchange between (i,j) and (j,i) owners —
+// effectively a global permutation that stresses bisection bandwidth.
+
+struct PtransResult {
+  std::int64_t n = 0;
+  double seconds = 0.0;
+  double gbPerSec = 0.0;  // the benchmark's reported rate: n^2*8 / time
+};
+
+PtransResult runPtransModel(const net::System& system, double memFraction);
+
+// ---- Global FFT ----------------------------------------------------------------
+// 1-D complex FFT of length n distributed across all ranks: local FFT
+// passes separated by three all-to-all transposes.
+
+struct FftResult {
+  std::int64_t n = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double computeSeconds = 0.0;
+  double transposeSeconds = 0.0;
+};
+
+FftResult runFftModel(const net::System& system, double memFraction);
+
+// ---- RandomAccess ---------------------------------------------------------------
+// Global table updates routed through a log2(P)-stage hypercube exchange
+// (the RA_SANDIA_OPT2 algorithm the paper measured alongside stock RA).
+
+struct RaResult {
+  std::int64_t tableWords = 0;
+  double seconds = 0.0;
+  double gups = 0.0;
+};
+
+enum class RaAlgorithm { Stock, SandiaOpt2 };
+
+RaResult runRaModel(const net::System& system, double memFraction,
+                    RaAlgorithm algo = RaAlgorithm::SandiaOpt2);
+
+}  // namespace bgp::hpcc

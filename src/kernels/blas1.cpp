@@ -1,0 +1,92 @@
+#include "kernels/blas1.hpp"
+
+#include <cmath>
+
+#include "support/expect.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace bgp::kernels {
+
+void daxpy(double alpha, std::span<const double> x, std::span<double> y) {
+  BGP_REQUIRE(x.size() == y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+double ddot(std::span<const double> x, std::span<const double> y) {
+  BGP_REQUIRE(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double dnrm2(std::span<const double> x) {
+  // Scaled accumulation to avoid overflow, as reference BLAS does.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (const double v : x) {
+    if (v == 0.0) continue;
+    const double a = std::fabs(v);
+    if (scale < a) {
+      ssq = 1.0 + ssq * (scale / a) * (scale / a);
+      scale = a;
+    } else {
+      ssq += (a / scale) * (a / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void dscal(double alpha, std::span<double> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+double idamaxValue(std::span<const double> x) {
+  BGP_REQUIRE(!x.empty());
+  double best = 0.0;
+  for (const double v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+bool builtWithOpenMP() {
+#ifdef _OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+void daxpyParallel(double alpha, std::span<const double> x,
+                   std::span<double> y, int threads) {
+  BGP_REQUIRE(x.size() == y.size());
+  BGP_REQUIRE(threads >= 1);
+#ifdef _OPENMP
+  const auto n = static_cast<std::int64_t>(y.size());
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i)
+    y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+#else
+  daxpy(alpha, x, y);
+#endif
+}
+
+double ddotParallel(std::span<const double> x, std::span<const double> y,
+                    int threads) {
+  BGP_REQUIRE(x.size() == y.size());
+  BGP_REQUIRE(threads >= 1);
+#ifdef _OPENMP
+  const auto n = static_cast<std::int64_t>(x.size());
+  double acc = 0.0;
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(+ : acc)
+  for (std::int64_t i = 0; i < n; ++i)
+    acc += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+  return acc;
+#else
+  return ddot(x, y);
+#endif
+}
+
+}  // namespace bgp::kernels

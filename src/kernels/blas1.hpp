@@ -1,0 +1,39 @@
+#pragma once
+// Level-1 BLAS kernels — the vector operations inside both CG variants and
+// the HPL back-substitution.  Serial and (when compiled with OpenMP)
+// threaded versions; the threaded forms mirror what the paper's SMP/DUAL
+// execution modes run inside a node.
+
+#include <cstddef>
+#include <span>
+
+namespace bgp::kernels {
+
+/// y += alpha * x
+void daxpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// dot(x, y)
+double ddot(std::span<const double> x, std::span<const double> y);
+
+/// ||x||_2
+double dnrm2(std::span<const double> x);
+
+/// x *= alpha
+void dscal(double alpha, std::span<double> x);
+
+/// max_i |x_i|  (HPL's pivot search / infinity norm)
+double idamaxValue(std::span<const double> x);
+
+// ---- threaded variants ----------------------------------------------------
+// With OpenMP available these parallelize across `threads`; otherwise they
+// fall back to the serial kernels (still honoring the API).
+
+void daxpyParallel(double alpha, std::span<const double> x,
+                   std::span<double> y, int threads);
+double ddotParallel(std::span<const double> x, std::span<const double> y,
+                    int threads);
+
+/// True when the library was built with OpenMP support.
+bool builtWithOpenMP();
+
+}  // namespace bgp::kernels

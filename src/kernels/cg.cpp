@@ -1,0 +1,140 @@
+#include "kernels/cg.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/expect.hpp"
+
+namespace bgp::kernels {
+
+StencilOperator::StencilOperator(int nx, int ny) : nx_(nx), ny_(ny) {
+  BGP_REQUIRE(nx >= 1 && ny >= 1);
+}
+
+void StencilOperator::apply(std::span<const double> x,
+                            std::span<double> y) const {
+  BGP_REQUIRE(x.size() >= size() && y.size() >= size());
+  const int nx = nx_;
+  const int ny = ny_;
+  auto at = [&](int i, int j) -> double {
+    if (i < 0 || i >= nx || j < 0 || j >= ny) return 0.0;  // Dirichlet
+    return x[static_cast<std::size_t>(j) * nx + i];
+  };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      y[static_cast<std::size_t>(j) * nx + i] =
+          4.0 * at(i, j) - at(i - 1, j) - at(i + 1, j) - at(i, j - 1) -
+          at(i, j + 1);
+}
+
+namespace {
+double dot(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+}  // namespace
+
+double residualNorm(const StencilOperator& a, std::span<const double> b,
+                    std::span<const double> x) {
+  std::vector<double> ax(a.size());
+  a.apply(x, ax);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double r = b[i] - ax[i];
+    acc += r * r;
+  }
+  return std::sqrt(acc);
+}
+
+CgResult conjugateGradient(const StencilOperator& a, std::span<const double> b,
+                           std::span<double> x, double tol, int maxIters) {
+  const std::size_t n = a.size();
+  BGP_REQUIRE(b.size() >= n && x.size() >= n);
+  CgResult result;
+  std::vector<double> r(n), p(n), ap(n);
+  a.apply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  p.assign(r.begin(), r.end());
+  double rr = dot(r, r);
+  ++result.reductions;
+  const double target = tol * tol * std::max(dot(b, b), 1e-300);
+  ++result.reductions;
+
+  for (int k = 0; k < maxIters; ++k) {
+    if (rr <= target) {
+      result.converged = true;
+      break;
+    }
+    a.apply(p, ap);
+    const double pap = dot(p, ap);
+    ++result.reductions;  // reduction #1 of the iteration
+    BGP_CHECK_MSG(pap > 0, "operator lost positive definiteness");
+    const double alpha = rr / pap;
+    axpy(alpha, p, x.subspan(0, n));
+    axpy(-alpha, ap, r);
+    const double rrNew = dot(r, r);
+    ++result.reductions;  // reduction #2 of the iteration
+    const double beta = rrNew / rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rrNew;
+    ++result.iterations;
+  }
+  result.residualNorm = std::sqrt(rr);
+  return result;
+}
+
+CgResult chronopoulosGearCG(const StencilOperator& a,
+                            std::span<const double> b, std::span<double> x,
+                            double tol, int maxIters) {
+  const std::size_t n = a.size();
+  BGP_REQUIRE(b.size() >= n && x.size() >= n);
+  CgResult result;
+  std::vector<double> r(n), u(n), w(n), p(n, 0.0), s(n, 0.0);
+  a.apply(x, w);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - w[i];
+  u.assign(r.begin(), r.end());  // identity preconditioner
+  a.apply(u, w);
+
+  const double target = tol * tol * std::max(dot(b, b), 1e-300);
+  ++result.reductions;
+
+  double gammaOld = 0.0, alphaOld = 1.0;
+  for (int k = 0; k < maxIters; ++k) {
+    // The fused reduction: gamma = (r,u), delta = (w,u), and the residual
+    // norm all travel in ONE allreduce.
+    const double gamma = dot(r, u);
+    const double delta = dot(w, u);
+    ++result.reductions;  // single fused reduction per iteration
+    if (gamma <= target) {
+      result.converged = true;
+      break;
+    }
+    double beta, alpha;
+    if (k == 0) {
+      beta = 0.0;
+      alpha = gamma / delta;
+    } else {
+      beta = gamma / gammaOld;
+      alpha = gamma / (delta - beta * gamma / alphaOld);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = u[i] + beta * p[i];
+      s[i] = w[i] + beta * s[i];
+    }
+    axpy(alpha, p, x.subspan(0, n));
+    axpy(-alpha, s, r);
+    u.assign(r.begin(), r.end());
+    a.apply(u, w);
+    gammaOld = gamma;
+    alphaOld = alpha;
+    ++result.iterations;
+  }
+  result.residualNorm = std::sqrt(std::max(dot(r, r), 0.0));
+  return result;
+}
+
+}  // namespace bgp::kernels

@@ -1,0 +1,78 @@
+#include "kernels/dgemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/expect.hpp"
+
+namespace bgp::kernels {
+
+namespace {
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockN = 64;
+constexpr std::size_t kBlockK = 64;
+
+void checkShapes(std::size_t m, std::size_t n, std::size_t k,
+                 std::span<const double> a, std::span<const double> b,
+                 std::span<double> c) {
+  BGP_REQUIRE_MSG(a.size() >= m * k, "A too small");
+  BGP_REQUIRE_MSG(b.size() >= k * n, "B too small");
+  BGP_REQUIRE_MSG(c.size() >= m * n, "C too small");
+}
+}  // namespace
+
+double dgemmFlops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+void dgemmNaive(std::size_t m, std::size_t n, std::size_t k, double alpha,
+                std::span<const double> a, std::span<const double> b,
+                double beta, std::span<double> c) {
+  checkShapes(m, n, k, a, b, c);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = alpha * acc + beta * c[i * n + j];
+    }
+  }
+}
+
+void dgemm(std::size_t m, std::size_t n, std::size_t k, double alpha,
+           std::span<const double> a, std::span<const double> b, double beta,
+           std::span<double> c) {
+  checkShapes(m, n, k, a, b, c);
+  // Scale C once up front.
+  if (beta != 1.0) {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::size_t iMax = std::min(i0 + kBlockM, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t pMax = std::min(p0 + kBlockK, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::size_t jMax = std::min(j0 + kBlockN, n);
+        // Micro-kernel: register-carried accumulation over the K block,
+        // 4-way unrolled in j.
+        for (std::size_t i = i0; i < iMax; ++i) {
+          for (std::size_t p = p0; p < pMax; ++p) {
+            const double aip = alpha * a[i * k + p];
+            const double* __restrict brow = &b[p * n];
+            double* __restrict crow = &c[i * n];
+            std::size_t j = j0;
+            for (; j + 4 <= jMax; j += 4) {
+              crow[j] += aip * brow[j];
+              crow[j + 1] += aip * brow[j + 1];
+              crow[j + 2] += aip * brow[j + 2];
+              crow[j + 3] += aip * brow[j + 3];
+            }
+            for (; j < jMax; ++j) crow[j] += aip * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bgp::kernels

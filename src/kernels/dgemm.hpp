@@ -1,0 +1,25 @@
+#pragma once
+// Dense double-precision matrix multiply, the compute kernel behind the
+// HPCC DGEMM test and the HPL trailing-matrix update.  Row-major storage.
+
+#include <cstddef>
+#include <span>
+
+namespace bgp::kernels {
+
+/// C = alpha * A(m x k) * B(k x n) + beta * C(m x n), naive reference.
+void dgemmNaive(std::size_t m, std::size_t n, std::size_t k, double alpha,
+                std::span<const double> a, std::span<const double> b,
+                double beta, std::span<double> c);
+
+/// Cache-blocked implementation with an unrolled inner micro-kernel;
+/// bit-for-bit compatible accumulation order is NOT guaranteed versus the
+/// naive version (floating point), only numerical closeness.
+void dgemm(std::size_t m, std::size_t n, std::size_t k, double alpha,
+           std::span<const double> a, std::span<const double> b, double beta,
+           std::span<double> c);
+
+/// Flop count of a GEMM call (2*m*n*k plus the beta/alpha traffic).
+double dgemmFlops(std::size_t m, std::size_t n, std::size_t k);
+
+}  // namespace bgp::kernels

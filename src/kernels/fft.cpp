@@ -1,0 +1,74 @@
+#include "kernels/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/expect.hpp"
+
+namespace bgp::kernels {
+
+bool isPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+double fftFlops(std::size_t n) {
+  return n == 0 ? 0.0
+                : 5.0 * static_cast<double>(n) *
+                      std::log2(static_cast<double>(n));
+}
+
+namespace {
+void bitReverse(std::span<std::complex<double>> x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+void fftImpl(std::span<std::complex<double>> x, bool inverse) {
+  const std::size_t n = x.size();
+  BGP_REQUIRE_MSG(isPowerOfTwo(n), "FFT length must be a power of two");
+  bitReverse(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv;
+  }
+}
+}  // namespace
+
+void fft(std::span<std::complex<double>> x) { fftImpl(x, false); }
+void ifft(std::span<std::complex<double>> x) { fftImpl(x, true); }
+
+void dftNaive(std::span<const std::complex<double>> in,
+              std::span<std::complex<double>> out) {
+  const std::size_t n = in.size();
+  BGP_REQUIRE(out.size() >= n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      acc += in[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+}
+
+}  // namespace bgp::kernels

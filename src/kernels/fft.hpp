@@ -1,0 +1,26 @@
+#pragma once
+// Iterative radix-2 complex FFT — the computational core of the HPCC FFT
+// test and of the PME reciprocal-space sums in the MD proxies.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+
+namespace bgp::kernels {
+
+/// In-place forward FFT; length must be a power of two.
+void fft(std::span<std::complex<double>> x);
+
+/// In-place inverse FFT (includes the 1/n normalization).
+void ifft(std::span<std::complex<double>> x);
+
+/// Naive O(n^2) DFT, reference for testing.
+void dftNaive(std::span<const std::complex<double>> in,
+              std::span<std::complex<double>> out);
+
+/// Flop count the HPCC benchmark attributes to a length-n FFT: 5 n log2 n.
+double fftFlops(std::size_t n);
+
+bool isPowerOfTwo(std::size_t n);
+
+}  // namespace bgp::kernels

@@ -1,0 +1,89 @@
+#include "kernels/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/expect.hpp"
+
+namespace bgp::kernels {
+
+double hplFlops(double n) { return (2.0 / 3.0) * n * n * n + 2.0 * n * n; }
+
+bool luFactor(std::size_t n, std::span<double> a,
+              std::span<std::int32_t> pivots) {
+  BGP_REQUIRE(a.size() >= n * n && pivots.size() >= n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |value| in column k at or below the diagonal.
+    std::size_t pivotRow = k;
+    double best = std::fabs(a[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(a[i * n + k]);
+      if (v > best) {
+        best = v;
+        pivotRow = i;
+      }
+    }
+    pivots[k] = static_cast<std::int32_t>(pivotRow);
+    if (best == 0.0) return false;
+    if (pivotRow != k) {
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(a[k * n + j], a[pivotRow * n + j]);
+    }
+    const double diag = a[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mult = a[i * n + k] / diag;
+      a[i * n + k] = mult;
+      const double* __restrict rowK = &a[k * n];
+      double* __restrict rowI = &a[i * n];
+      for (std::size_t j = k + 1; j < n; ++j) rowI[j] -= mult * rowK[j];
+    }
+  }
+  return true;
+}
+
+void luSolve(std::size_t n, std::span<const double> lu,
+             std::span<const std::int32_t> pivots, std::span<double> b) {
+  BGP_REQUIRE(lu.size() >= n * n && pivots.size() >= n && b.size() >= n);
+  // Apply the row interchanges.
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto p = static_cast<std::size_t>(pivots[k]);
+    if (p != k) std::swap(b[k], b[p]);
+  }
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu[i * n + j] * b[j];
+    b[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu[ii * n + j] * b[j];
+    b[ii] = acc / lu[ii * n + ii];
+  }
+}
+
+double hplResidual(std::size_t n, std::span<const double> aOriginal,
+                   std::span<const double> x, std::span<const double> b) {
+  BGP_REQUIRE(aOriginal.size() >= n * n && x.size() >= n && b.size() >= n);
+  double residInf = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = -b[i];
+    for (std::size_t j = 0; j < n; ++j) acc += aOriginal[i * n + j] * x[j];
+    residInf = std::max(residInf, std::fabs(acc));
+  }
+  double norm1A = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double col = 0.0;
+    for (std::size_t i = 0; i < n; ++i) col += std::fabs(aOriginal[i * n + j]);
+    norm1A = std::max(norm1A, col);
+  }
+  double norm1X = 0.0;
+  for (std::size_t i = 0; i < n; ++i) norm1X += std::fabs(x[i]);
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double denom = norm1A * norm1X * static_cast<double>(n) * eps;
+  return denom > 0 ? residInf / denom : 0.0;
+}
+
+}  // namespace bgp::kernels

@@ -1,0 +1,31 @@
+#pragma once
+// Dense LU factorization with partial pivoting and triangular solves — the
+// algorithm HPL runs; used here both as a correctness anchor for the HPL
+// performance model and as a host kernel in its own right.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bgp::kernels {
+
+/// Factors the n x n row-major matrix A in place as P*A = L*U, recording
+/// row swaps in `pivots` (pivots[k] = row swapped with row k at step k).
+/// Returns false if the matrix is numerically singular.
+bool luFactor(std::size_t n, std::span<double> a,
+              std::span<std::int32_t> pivots);
+
+/// Solves A x = b using a factorization from luFactor; b is overwritten
+/// with the solution.
+void luSolve(std::size_t n, std::span<const double> lu,
+             std::span<const std::int32_t> pivots, std::span<double> b);
+
+/// The HPL scaled residual ||A x - b||_inf / (||A||_1 * ||x||_1 * n * eps);
+/// values below ~16 pass the benchmark's check.
+double hplResidual(std::size_t n, std::span<const double> aOriginal,
+                   std::span<const double> x, std::span<const double> b);
+
+/// Flops HPL credits an order-n solve with: 2/3 n^3 + 2 n^2.
+double hplFlops(double n);
+
+}  // namespace bgp::kernels

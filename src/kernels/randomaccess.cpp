@@ -1,0 +1,73 @@
+#include "kernels/randomaccess.hpp"
+
+#include <vector>
+
+#include "support/expect.hpp"
+
+namespace bgp::kernels {
+
+namespace {
+constexpr std::uint64_t kPoly = 0x0000000000000007ULL;
+constexpr std::uint64_t kPeriod = 1317624576693539401LL;
+
+bool isPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+std::uint64_t raNextRandom(std::uint64_t x) {
+  return (x << 1) ^ ((static_cast<std::int64_t>(x) < 0) ? kPoly : 0);
+}
+
+std::uint64_t raStartingValue(std::int64_t n) {
+  // Jump-ahead by matrix exponentiation over GF(2), as in the HPCC
+  // reference implementation.
+  while (n < 0) n += static_cast<std::int64_t>(kPeriod);
+  while (n > static_cast<std::int64_t>(kPeriod))
+    n -= static_cast<std::int64_t>(kPeriod);
+  if (n == 0) return 1;
+
+  std::uint64_t m2[64];
+  std::uint64_t temp = 1;
+  for (int i = 0; i < 64; ++i) {
+    m2[i] = temp;
+    temp = raNextRandom(raNextRandom(temp));
+  }
+  int i = 62;
+  while (i >= 0 && !((n >> i) & 1)) --i;
+
+  std::uint64_t ran = 2;
+  while (i > 0) {
+    temp = 0;
+    for (int j = 0; j < 64; ++j)
+      if ((ran >> j) & 1) temp ^= m2[j];
+    ran = temp;
+    --i;
+    if ((n >> i) & 1) ran = raNextRandom(ran);
+  }
+  return ran;
+}
+
+std::uint64_t raUpdate(std::span<std::uint64_t> table, std::int64_t start,
+                       std::int64_t updates) {
+  BGP_REQUIRE_MSG(isPow2(table.size()), "table size must be a power of two");
+  BGP_REQUIRE(updates >= 0);
+  const std::uint64_t mask = table.size() - 1;
+  std::uint64_t ran = raStartingValue(start);
+  for (std::int64_t u = 0; u < updates; ++u) {
+    ran = raNextRandom(ran);
+    table[ran & mask] ^= ran;
+  }
+  return ran;
+}
+
+std::int64_t raVerify(std::span<std::uint64_t> table, std::int64_t updates) {
+  BGP_REQUIRE(isPow2(table.size()));
+  // Replay: XOR is an involution, so replaying the same stream restores
+  // the canonical table[i] == i contents.
+  raUpdate(table, 0, updates);
+  std::int64_t errors = 0;
+  for (std::size_t i = 0; i < table.size(); ++i)
+    if (table[i] != i) ++errors;
+  return errors;
+}
+
+}  // namespace bgp::kernels

@@ -1,0 +1,30 @@
+#pragma once
+// The HPCC RandomAccess (GUPS) kernel: a stream of pseudo-random 64-bit
+// updates XORed into a large table.  Uses the benchmark's primitive
+// polynomial generator so the update stream matches the specification.
+
+#include <cstdint>
+#include <span>
+
+namespace bgp::kernels {
+
+/// HPCC RandomAccess pseudo-random sequence: x_{k+1} = (x_k << 1) XOR
+/// (POLY if the top bit of x_k is set).
+std::uint64_t raNextRandom(std::uint64_t x);
+
+/// The n-th value of the sequence starting from seed 1 (O(log n) jump
+/// ahead, as specified by the benchmark).
+std::uint64_t raStartingValue(std::int64_t n);
+
+/// Applies `updates` sequential updates to `table` (size must be a power
+/// of two), starting the stream at raStartingValue(start).  Returns the
+/// generator state after the last update.
+std::uint64_t raUpdate(std::span<std::uint64_t> table, std::int64_t start,
+                       std::int64_t updates);
+
+/// Verifies a table that received exactly `updates` updates from stream
+/// position 0 by replaying them; returns the number of mismatched words
+/// (0 = correct, matching the self-check of the reference benchmark).
+std::int64_t raVerify(std::span<std::uint64_t> table, std::int64_t updates);
+
+}  // namespace bgp::kernels

@@ -1,0 +1,44 @@
+#pragma once
+// The Wallcraft HALO benchmark (paper section II.B.1, Figure 2).
+//
+// Simulates the nearest-neighbor exchange of a 1-2 row/column halo from a
+// 2-D array on a rows x cols virtual processor grid: each process first
+// exchanges N 32-bit words with its logical north neighbor and 2N with its
+// south neighbor; once those complete, N words west and 2N east.  The
+// benchmark compares MPI-1 protocol variants, process/processor mappings,
+// and virtual grid shapes.
+
+#include <string>
+
+#include "arch/exec_mode.hpp"
+#include "arch/machine.hpp"
+
+namespace bgp::microbench {
+
+enum class HaloProtocol {
+  IsendIrecv,   // MPI_ISEND/MPI_IRECV + WAITALL (the paper's best-practice)
+  Sendrecv,     // MPI_SENDRECV pairs
+  Persistent,   // persistent requests (start/waitall)
+  Bsend,        // buffered sends: extra copy, always-eager semantics
+};
+
+std::string toString(HaloProtocol p);
+
+struct HaloConfig {
+  arch::MachineConfig machine;
+  int nranks = 0;
+  arch::ExecMode mode = arch::ExecMode::VN;
+  std::string mapping = "TXYZ";
+  int gridRows = 0;  // virtual processor grid (rows*cols == nranks)
+  int gridCols = 0;
+  HaloProtocol protocol = HaloProtocol::IsendIrecv;
+  int reps = 4;
+  bool modelContention = true;
+};
+
+/// Runs the halo exchange for a halo of `words` 32-bit words per unit
+/// (N north/west, 2N south/east) and returns the mean time per complete
+/// 4-neighbor exchange, maximized over processes (the benchmark's metric).
+double runHalo(const HaloConfig& config, int words);
+
+}  // namespace bgp::microbench

@@ -1,0 +1,56 @@
+#include "microbench/imb.hpp"
+
+#include "net/collective_model.hpp"
+#include "smpi/simulation.hpp"
+
+namespace bgp::microbench {
+
+namespace {
+double timedCollective(const ImbConfig& config, net::CollKind kind,
+                       double bytes, net::Dtype dt) {
+  net::SystemOptions opts;
+  opts.mode = config.mode;
+  opts.useTreeNetwork = config.useTreeNetwork;
+  smpi::Simulation sim(config.machine, config.nranks, opts);
+  double elapsed = 0.0;
+  const int reps = config.reps;
+  sim.run([&](smpi::Rank& self) -> sim::Task {
+    co_await self.barrier();
+    const double t0 = self.now();
+    for (int r = 0; r < reps; ++r) {
+      switch (kind) {
+        case net::CollKind::Allreduce:
+          co_await self.allreduce(bytes, dt);
+          break;
+        case net::CollKind::Bcast:
+          co_await self.bcast(bytes);
+          break;
+        case net::CollKind::Barrier:
+          co_await self.barrier();
+          break;
+        default:
+          BGP_CHECK(false);
+      }
+    }
+    if (self.id() == 0) elapsed = (self.now() - t0) / reps;
+    co_return;
+  });
+  return elapsed;
+}
+}  // namespace
+
+double imbAllreduce(const ImbConfig& config, double bytes, net::Dtype dt) {
+  return timedCollective(config, net::CollKind::Allreduce, bytes, dt);
+}
+
+double imbBcast(const ImbConfig& config, double bytes) {
+  return timedCollective(config, net::CollKind::Bcast, bytes,
+                         net::Dtype::Byte);
+}
+
+double imbBarrier(const ImbConfig& config) {
+  return timedCollective(config, net::CollKind::Barrier, 0.0,
+                         net::Dtype::Byte);
+}
+
+}  // namespace bgp::microbench

@@ -1,0 +1,32 @@
+#pragma once
+// The Intel MPI Benchmarks (IMB) collective tests the paper runs
+// (section II.B.2, Figure 3): Allreduce and Bcast latency as functions of
+// message size and process count, including the custom double-precision
+// Allreduce variant the authors added.
+
+#include "arch/exec_mode.hpp"
+#include "arch/machine.hpp"
+#include "net/collective_model.hpp"
+
+namespace bgp::microbench {
+
+struct ImbConfig {
+  arch::MachineConfig machine;
+  int nranks = 0;
+  arch::ExecMode mode = arch::ExecMode::VN;
+  int reps = 4;
+  bool useTreeNetwork = true;  // ablation hook
+};
+
+/// Mean MPI_Allreduce latency for a `bytes` payload of element type `dt`
+/// (IMB stock uses float; the paper's custom variant uses double).
+double imbAllreduce(const ImbConfig& config, double bytes,
+                    net::Dtype dt = net::Dtype::Float);
+
+/// Mean MPI_Bcast latency for a `bytes` payload.
+double imbBcast(const ImbConfig& config, double bytes);
+
+/// Mean MPI_Barrier latency.
+double imbBarrier(const ImbConfig& config);
+
+}  // namespace bgp::microbench

@@ -1,0 +1,57 @@
+#include "net/system.hpp"
+
+#include "support/expect.hpp"
+#include "support/units.hpp"
+
+namespace bgp::net {
+
+System::System(arch::MachineConfig machine, std::int64_t nranks,
+               SystemOptions options)
+    : machine_(std::move(machine)), options_(options), nranks_(nranks) {
+  BGP_REQUIRE_MSG(nranks >= 1, "need at least one rank");
+  tasksPerNode_ = arch::tasksPerNode(options.mode, machine_);
+  threadsPerTask_ =
+      arch::threadsPerTask(options.mode, machine_, options.useOpenMP);
+  const std::int64_t nodesNeeded =
+      (nranks + tasksPerNode_ - 1) / tasksPerNode_;
+  torus_ = std::make_unique<topo::Torus3D>(topo::balancedTorusFor(nodesNeeded));
+  mapping_ = std::make_unique<topo::Mapping>(*torus_, tasksPerNode_,
+                                             options.mappingOrder);
+  BGP_CHECK(mapping_->maxRanks() >= nranks);
+
+  TorusParams tp;
+  tp.linkBandwidth =
+      machine_.linkBandwidthGBs * 1e9 * machine_.linkEfficiency;
+  tp.hopLatency = machine_.hopLatency;
+  tp.swLatency = machine_.swLatency;
+  tp.shmBandwidth = machine_.shmBandwidthGBs * 1e9;
+  tp.shmLatency = machine_.shmLatency;
+  tp.modelContention = options.modelContention;
+  tp.adaptiveRouting = options.adaptiveRouting;
+  torusNetwork_ = std::make_unique<TorusNetwork>(*torus_, tp);
+
+  CollectiveParams cp;
+  cp.useTreeNetwork = options.useTreeNetwork;
+  cp.useBarrierNetwork = options.useBarrierNetwork;
+  cp.tasksPerNode = tasksPerNode_;
+  collectives_ =
+      std::make_unique<CollectiveModel>(machine_, *torusNetwork_, cp);
+
+  nodeModel_ = std::make_unique<arch::NodeModel>(machine_);
+
+  eagerThreshold_ = options.eagerThresholdOverride >= 0
+                        ? options.eagerThresholdOverride
+                        : machine_.eagerThresholdBytes;
+}
+
+double System::memPerTaskBytes() const {
+  return arch::memPerTaskBytes(options_.mode, machine_);
+}
+
+double System::peakFlops() const {
+  // Each task drives threadsPerTask cores.
+  return static_cast<double>(nranks_) * threadsPerTask_ *
+         machine_.peakFlopsPerCore();
+}
+
+}  // namespace bgp::net

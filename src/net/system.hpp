@@ -1,0 +1,86 @@
+#pragma once
+// A `System` is one machine partition: the machine description plus
+// instantiated networks for a given node count.  This is the object the
+// simulated-MPI runtime and the analytic models both consume.
+
+#include <memory>
+
+#include "arch/exec_mode.hpp"
+#include "arch/machine.hpp"
+#include "arch/node_model.hpp"
+#include "net/collective_model.hpp"
+#include "net/torus_network.hpp"
+#include "topo/mapping.hpp"
+#include "topo/torus.hpp"
+
+namespace bgp::net {
+
+struct SystemOptions {
+  arch::ExecMode mode = arch::ExecMode::VN;
+  std::string mappingOrder = "TXYZ";
+  bool useOpenMP = false;      // threads fill idle cores in SMP/DUAL modes
+  bool modelContention = true;
+  bool adaptiveRouting = false;  // minimal adaptive torus routing
+  bool useTreeNetwork = true;    // ablations
+  bool useBarrierNetwork = true;
+  double eagerThresholdOverride = -1.0;  // <0: machine default
+};
+
+class System {
+ public:
+  /// Builds a partition with enough nodes for `nranks` MPI tasks in the
+  /// requested mode, shaped as a near-cubic torus (the allocator's
+  /// behaviour on both machines).
+  System(arch::MachineConfig machine, std::int64_t nranks,
+         SystemOptions options = {});
+
+  const arch::MachineConfig& machine() const { return machine_; }
+  const SystemOptions& options() const { return options_; }
+  std::int64_t nranks() const { return nranks_; }
+  std::int64_t nodes() const { return torusNetwork_->torus().count(); }
+  int tasksPerNode() const { return tasksPerNode_; }
+  int threadsPerTask() const { return threadsPerTask_; }
+  double eagerThreshold() const { return eagerThreshold_; }
+  double memPerTaskBytes() const;
+
+  const topo::Mapping& mapping() const { return *mapping_; }
+  TorusNetwork& torusNetwork() { return *torusNetwork_; }
+  const TorusNetwork& torusNetwork() const { return *torusNetwork_; }
+  const CollectiveModel& collectives() const { return *collectives_; }
+  const arch::NodeModel& nodeModel() const { return *nodeModel_; }
+
+  /// Node hosting a given MPI rank.
+  topo::NodeId nodeOf(std::int64_t rank) const {
+    return mapping_->place(rank).node;
+  }
+
+  /// Time for one task to execute `w` (assumes all node task slots busy,
+  /// the common case in benchmarks).
+  double computeTime(const arch::Work& w) const {
+    return nodeModel_->time(w, threadsPerTask_, tasksPerNode_);
+  }
+
+  /// Analytic collective cost at this partition's full size.
+  double collectiveCost(CollKind kind, double bytes,
+                        Dtype dt = Dtype::Double) const {
+    return collectives_->cost(kind, static_cast<int>(nranks_), bytes, dt);
+  }
+
+  /// Aggregate peak flops of the allocated cores.
+  double peakFlops() const;
+
+ private:
+  arch::MachineConfig machine_;
+  SystemOptions options_;
+  std::int64_t nranks_;
+  int tasksPerNode_;
+  int threadsPerTask_;
+  double eagerThreshold_;
+  std::unique_ptr<topo::Torus3D> torus_;
+  std::unique_ptr<topo::Mapping> mapping_;
+  std::unique_ptr<TorusNetwork> torusNetwork_;
+  std::unique_ptr<CollectiveModel> collectives_;
+  std::unique_ptr<arch::NodeModel> nodeModel_;
+};
+
+}  // namespace bgp::net

@@ -1,0 +1,80 @@
+#include "net/torus_network.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace bgp::net {
+
+TorusNetwork::TorusNetwork(topo::Torus3D torus, TorusParams params)
+    : torus_(std::move(torus)), params_(params) {
+  BGP_REQUIRE(params.linkBandwidth > 0 && params.shmBandwidth > 0);
+  BGP_REQUIRE(params.hopLatency >= 0 && params.swLatency >= 0);
+  nextFree_.assign(static_cast<std::size_t>(torus_.linkCount()), 0.0);
+}
+
+std::pair<sim::SimTime, sim::SimTime> TorusNetwork::walk(
+    const std::vector<topo::LinkId>& links, double bytes, sim::SimTime start,
+    bool commit) {
+  const double ser = bytes / params_.linkBandwidth;
+  sim::SimTime head = start + params_.swLatency;
+  sim::SimTime firstClaim = head;
+  bool first = true;
+  for (const topo::LinkId link : links) {
+    auto& free = nextFree_[static_cast<std::size_t>(link)];
+    const sim::SimTime claim =
+        params_.modelContention ? std::max(head, free) : head;
+    if (params_.modelContention && commit) free = claim + ser;
+    if (first) {
+      firstClaim = claim;
+      first = false;
+    }
+    head = claim + params_.hopLatency;
+  }
+  return {firstClaim, head};
+}
+
+TorusNetwork::Transfer TorusNetwork::transfer(topo::NodeId src,
+                                              topo::NodeId dst, double bytes,
+                                              sim::SimTime start) {
+  BGP_REQUIRE(bytes >= 0);
+  if (src == dst) {
+    const sim::SimTime done =
+        start + params_.shmLatency + bytes / params_.shmBandwidth;
+    return Transfer{done, done};
+  }
+  const double ser = bytes / params_.linkBandwidth;
+
+  std::vector<topo::LinkId> links = torus_.route(src, dst);
+  if (params_.adaptiveRouting && params_.modelContention) {
+    // Probe the alternative minimal route and take whichever delivers the
+    // head earlier under current congestion.
+    std::vector<topo::LinkId> alt = torus_.routeOrdered(src, dst, {2, 1, 0});
+    const auto primary = walk(links, bytes, start, /*commit=*/false);
+    const auto secondary = walk(alt, bytes, start, /*commit=*/false);
+    if (secondary.second < primary.second) links = std::move(alt);
+  }
+  const auto [firstClaim, head] = walk(links, bytes, start, /*commit=*/true);
+  bytesRouted_ += bytes;
+  return Transfer{firstClaim + ser, head + ser + params_.swLatency};
+}
+
+sim::SimTime TorusNetwork::latencyEstimate(topo::NodeId src, topo::NodeId dst,
+                                           double bytes) const {
+  if (src == dst) return params_.shmLatency + bytes / params_.shmBandwidth;
+  const int hops = torus_.hopDistance(src, dst);
+  return 2 * params_.swLatency + hops * params_.hopLatency +
+         bytes / params_.linkBandwidth;
+}
+
+void TorusNetwork::reset() {
+  std::fill(nextFree_.begin(), nextFree_.end(), 0.0);
+  bytesRouted_ = 0.0;
+}
+
+double TorusNetwork::bisectionBandwidth() const {
+  return static_cast<double>(torus_.bisectionLinkCount()) *
+         params_.linkBandwidth;
+}
+
+}  // namespace bgp::net

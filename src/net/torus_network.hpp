@@ -1,0 +1,82 @@
+#pragma once
+// Timed 3-D torus network with per-directed-link contention.
+//
+// Messages follow dimension-ordered (X, then Y, then Z) routes, the routing
+// the BG/P and SeaStar tori use.  Timing is cut-through: a message claims
+// each link along its route in sequence; each claim waits for the link's
+// previous occupancy to drain (`nextFree`), holds the link for the
+// serialization time bytes/linkBW, and advances the head by one hop
+// latency.  Serialization appears once in the end-to-end time (pipelining),
+// but every link on the route is occupied for the full serialization time —
+// which is exactly why process mappings that fold many logical neighbor
+// pairs onto the same physical links slow large halos down (Fig. 2c,d)
+// while small, latency-dominated halos don't care.
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "topo/torus.hpp"
+
+namespace bgp::net {
+
+struct TorusParams {
+  double linkBandwidth = 400e6;  // effective bytes/s per directed link
+  double hopLatency = 0.1e-6;    // s per hop
+  double swLatency = 1.5e-6;     // per-message software overhead, one side
+  double shmBandwidth = 3e9;     // same-node task-to-task bytes/s
+  double shmLatency = 0.8e-6;
+  bool modelContention = true;   // ablation: ideal (contention-free) links
+  /// Minimal adaptive routing: each message picks the less congested of
+  /// the XYZ- and ZYX-ordered minimal routes (both BG/P and SeaStar route
+  /// adaptively in hardware; deterministic dimension order is the
+  /// conservative default for reproducible orderings).
+  bool adaptiveRouting = false;
+};
+
+class TorusNetwork {
+ public:
+  TorusNetwork(topo::Torus3D torus, TorusParams params);
+
+  struct Transfer {
+    sim::SimTime injected;  // when the sender's last byte left the NIC
+    sim::SimTime arrival;   // when the receiver has the full message
+  };
+
+  /// Sends `bytes` from node `src` to node `dst` starting at `start`,
+  /// claiming link capacity along the route.  Same-node transfers use the
+  /// shared-memory path and touch no links.
+  Transfer transfer(topo::NodeId src, topo::NodeId dst, double bytes,
+                    sim::SimTime start);
+
+  /// Contention-free latency estimate for a message (used for rendezvous
+  /// control traffic and analytic models); does not claim capacity.
+  sim::SimTime latencyEstimate(topo::NodeId src, topo::NodeId dst,
+                               double bytes) const;
+
+  /// Clears all link occupancy (between benchmark repetitions).
+  void reset();
+
+  const topo::Torus3D& torus() const { return torus_; }
+  TorusParams& params() { return params_; }
+  const TorusParams& params() const { return params_; }
+
+  /// Aggregate bandwidth across the worst-case bisection, bytes/s.
+  double bisectionBandwidth() const;
+
+  /// Total bytes-on-wire scheduled so far (diagnostics).
+  double bytesRouted() const { return bytesRouted_; }
+
+ private:
+  /// Walks `links`, returning {firstClaim, headArrival}; claims capacity
+  /// only when `commit` is true.
+  std::pair<sim::SimTime, sim::SimTime> walk(
+      const std::vector<topo::LinkId>& links, double bytes,
+      sim::SimTime start, bool commit);
+
+  topo::Torus3D torus_;
+  TorusParams params_;
+  std::vector<sim::SimTime> nextFree_;  // per directed link
+  double bytesRouted_ = 0.0;
+};
+
+}  // namespace bgp::net

@@ -1,0 +1,53 @@
+#include "power/power_model.hpp"
+
+#include "support/expect.hpp"
+
+namespace bgp::power {
+
+double systemPowerWatts(const arch::MachineConfig& machine,
+                        std::int64_t cores, LoadKind load) {
+  BGP_REQUIRE(cores >= 1);
+  double perCore = 0;
+  switch (load) {
+    case LoadKind::HPL:
+      perCore = machine.wattsPerCoreHPL;
+      break;
+    case LoadKind::Science:
+      perCore = machine.wattsPerCoreNormal;
+      break;
+    case LoadKind::Idle:
+      perCore = machine.wattsPerCoreIdle;
+      break;
+  }
+  BGP_CHECK_MSG(perCore > 0, "machine lacks power calibration");
+  return perCore * static_cast<double>(cores);
+}
+
+double mflopsPerWatt(double flopsPerSec, double watts) {
+  BGP_REQUIRE(watts > 0);
+  BGP_REQUIRE(flopsPerSec >= 0);
+  return flopsPerSec / 1e6 / watts;
+}
+
+double energyJoules(const arch::MachineConfig& machine, std::int64_t cores,
+                    LoadKind load, double seconds) {
+  BGP_REQUIRE(seconds >= 0);
+  return systemPowerWatts(machine, cores, load) * seconds;
+}
+
+EnergyMeter::EnergyMeter(const arch::MachineConfig& machine,
+                         std::int64_t cores)
+    : machine_(machine), cores_(cores) {
+  BGP_REQUIRE(cores >= 1);
+}
+
+void EnergyMeter::addPhase(LoadKind load, double seconds) {
+  joules_ += energyJoules(machine_, cores_, load, seconds);
+  seconds_ += seconds;
+}
+
+double EnergyMeter::averageWatts() const {
+  return seconds_ > 0 ? joules_ / seconds_ : 0.0;
+}
+
+}  // namespace bgp::power

@@ -1,0 +1,49 @@
+#pragma once
+// Power and energy model (paper section IV, Table 3, and the Green500
+// number of section II.C).  The paper's methodology: measure aggregate
+// wall power — processors, memory, interconnects, storage and peripherals
+// — while running HPL and science workloads, then derive per-core watts,
+// MFlops/W, and the science-driven "power to reach a given throughput"
+// metric.
+
+#include <cstdint>
+
+#include "arch/machine.hpp"
+
+namespace bgp::power {
+
+enum class LoadKind { HPL, Science, Idle };
+
+/// Aggregate wall power (W) of `cores` cores of `machine` under a load.
+double systemPowerWatts(const arch::MachineConfig& machine,
+                        std::int64_t cores, LoadKind load);
+
+/// MFlops per watt — the Green500 metric.
+double mflopsPerWatt(double flopsPerSec, double watts);
+
+/// Energy (J) to run a workload of `seconds` at the given load.
+double energyJoules(const arch::MachineConfig& machine, std::int64_t cores,
+                    LoadKind load, double seconds);
+
+/// Accumulates energy across phases with different loads (e.g. an HPL run
+/// followed by idle drain).
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(const arch::MachineConfig& machine,
+                       std::int64_t cores);
+
+  void addPhase(LoadKind load, double seconds);
+
+  double joules() const { return joules_; }
+  double seconds() const { return seconds_; }
+  /// Mean power over everything recorded so far; 0 before any phase.
+  double averageWatts() const;
+
+ private:
+  arch::MachineConfig machine_;
+  std::int64_t cores_;
+  double joules_ = 0.0;
+  double seconds_ = 0.0;
+};
+
+}  // namespace bgp::power

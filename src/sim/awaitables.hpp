@@ -1,0 +1,80 @@
+#pragma once
+// Generic awaitables on top of the Engine: timed delays and multi-waiter
+// gates.  Domain-specific awaitables (message matching, collectives) live
+// in smpi/.
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "support/expect.hpp"
+
+namespace bgp::sim {
+
+/// `co_await Delay{engine, dt}` — resume after `dt` simulated seconds.
+struct Delay {
+  Engine& engine;
+  SimTime duration;
+
+  bool await_ready() const noexcept { return duration <= 0.0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine.schedule(engine.now() + duration, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+/// `co_await At{engine, t}` — resume at absolute simulated time `t`.
+struct At {
+  Engine& engine;
+  SimTime when;
+
+  bool await_ready() const noexcept { return when <= engine.now(); }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine.schedule(when, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+/// A one-shot gate: coroutines that await it park until `open(t)` is
+/// called, at which point all waiters are scheduled at time `t` (>= now).
+/// Waiters that arrive after the gate opened proceed immediately.
+class Gate {
+ public:
+  explicit Gate(Engine& engine) : engine_(engine) {}
+
+  bool isOpen() const { return open_; }
+  std::size_t waiters() const { return waiting_.size(); }
+
+  void open(SimTime t) {
+    BGP_REQUIRE_MSG(!open_, "gate already open");
+    open_ = true;
+    openTime_ = t;
+    for (auto h : waiting_) engine_.schedule(t, h);
+    waiting_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const noexcept { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        gate.waiting_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  SimTime openTime() const {
+    BGP_REQUIRE(open_);
+    return openTime_;
+  }
+
+ private:
+  Engine& engine_;
+  bool open_ = false;
+  SimTime openTime_ = 0.0;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+}  // namespace bgp::sim

@@ -1,0 +1,90 @@
+#pragma once
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of timed events.  An event is either a
+// coroutine handle to resume (the common case: a simulated MPI rank waking
+// up) or an arbitrary callback (message arrival bookkeeping, collective
+// completion fan-out).  Ties in simulated time are broken by insertion
+// order, which makes every simulation fully deterministic.
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/expect.hpp"
+
+namespace bgp::sim {
+
+/// Simulated time, in seconds since the start of the run.
+using SimTime = double;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules a coroutine to resume at absolute time `t` (>= now).
+  void schedule(SimTime t, std::coroutine_handle<> h) {
+    BGP_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+    queue_.push(Event{t, nextSeq_++, h, {}});
+  }
+
+  /// Schedules a callback at absolute time `t` (>= now).
+  void scheduleCallback(SimTime t, std::function<void()> fn) {
+    BGP_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+    queue_.push(Event{t, nextSeq_++, nullptr, std::move(fn)});
+  }
+
+  /// Runs until the event queue drains.  Returns the final simulated time.
+  SimTime run() {
+    while (!queue_.empty()) step();
+    return now_;
+  }
+
+  /// Processes exactly one event; returns false if the queue was empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // Copy out, then pop, so new events scheduled by the handler are safe.
+    Event ev = queue_.top();
+    queue_.pop();
+    BGP_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else {
+      ev.fn();
+    }
+    ++eventsProcessed_;
+    return true;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t eventsProcessed() const { return eventsProcessed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;  // null => use fn
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t eventsProcessed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace bgp::sim

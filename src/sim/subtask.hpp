@@ -1,0 +1,83 @@
+#pragma once
+// SubTask: an awaitable coroutine, used to compose simulated programs out
+// of reusable pieces (e.g. the algorithmic collective implementations in
+// smpi/coll_algorithms.hpp).  Unlike sim::Task — the fire-and-forget
+// top-level rank coroutine — a SubTask is awaited by its caller and
+// resumes it on completion via symmetric transfer:
+//
+//   sim::SubTask doPhase(Rank& self) { co_await self.barrier(); ... }
+//   sim::Task program(Rank& self) { co_await doPhase(self); ... }
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "support/expect.hpp"
+
+namespace bgp::sim {
+
+class SubTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    SubTask get_return_object() {
+      return SubTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Resume whoever co_awaited us; a detached SubTask is a bug.
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  SubTask() = default;
+  explicit SubTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  SubTask(SubTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  SubTask& operator=(SubTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  ~SubTask() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    BGP_REQUIRE_MSG(handle_, "awaiting an empty SubTask");
+    handle_.promise().continuation = caller;
+    return handle_;  // symmetric transfer into the subtask body
+  }
+  void await_resume() {
+    if (handle_ && handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace bgp::sim

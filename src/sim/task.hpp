@@ -1,0 +1,93 @@
+#pragma once
+// Coroutine type for simulated processes.
+//
+// A `Task` is a fire-and-forget coroutine driven by the Engine: it starts
+// suspended, the owner schedules its handle, and every `co_await` inside it
+// hands control back to the event loop until some event resumes it.  The
+// promise records completion and captures exceptions so the simulation
+// runner can rethrow them on the host after the event loop drains.
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "support/expect.hpp"
+
+namespace bgp::sim {
+
+class Task {
+ public:
+  struct promise_type {
+    bool finished = false;
+    std::exception_ptr exception;
+    std::function<void()> onDone;  // set by the owner before first resume
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        auto& p = h.promise();
+        p.finished = true;
+        if (p.onDone) p.onDone();
+        // Remain suspended at final-suspend; the owning Task destroys us.
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool finished() const {
+    BGP_REQUIRE(valid());
+    return handle_.promise().finished;
+  }
+  std::coroutine_handle<> handle() const {
+    BGP_REQUIRE(valid());
+    return handle_;
+  }
+  /// Registers a callback invoked (once) when the coroutine completes or
+  /// exits with an exception.  Must be set before the task first runs.
+  void setOnDone(std::function<void()> fn) {
+    BGP_REQUIRE(valid());
+    handle_.promise().onDone = std::move(fn);
+  }
+  /// Rethrows the coroutine's exception, if it exited with one.
+  void rethrowIfFailed() const {
+    BGP_REQUIRE(valid());
+    if (handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace bgp::sim

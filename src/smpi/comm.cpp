@@ -1,0 +1,21 @@
+#include "smpi/comm.hpp"
+
+namespace bgp::smpi {
+
+Comm::Comm(int id, std::vector<int> members, int worldSize)
+    : id_(id), members_(std::move(members)) {
+  BGP_REQUIRE_MSG(!members_.empty(), "communicator cannot be empty");
+  worldToComm_.assign(static_cast<std::size_t>(worldSize), -1);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const int w = members_[i];
+    BGP_REQUIRE_MSG(w >= 0 && w < worldSize, "member outside world");
+    BGP_REQUIRE_MSG(worldToComm_[static_cast<std::size_t>(w)] == -1,
+                    "duplicate member in communicator");
+    worldToComm_[static_cast<std::size_t>(w)] = static_cast<int>(i);
+  }
+  postedRecvs_.resize(members_.size());
+  staged_.resize(members_.size());
+  nextCollSeq_.assign(members_.size(), 0);
+}
+
+}  // namespace bgp::smpi

@@ -1,0 +1,77 @@
+#pragma once
+// Communicators: an ordered set of world ranks plus the runtime's matching
+// state (posted receives, staged messages, collective gates).  The world
+// communicator contains every rank; Simulation::splitWorld creates
+// sub-communicators.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "net/collective_model.hpp"
+#include "smpi/types.hpp"
+
+namespace bgp::smpi {
+
+class Simulation;
+
+class Comm {
+ public:
+  int size() const { return static_cast<int>(members_.size()); }
+  int id() const { return id_; }
+
+  /// World rank of a communicator member.
+  int worldRank(int commRank) const {
+    BGP_REQUIRE_MSG(commRank >= 0 && commRank < size(),
+                    "comm rank out of range");
+    return members_[static_cast<std::size_t>(commRank)];
+  }
+
+  /// Rank within this communicator, or -1 if the world rank is no member.
+  int commRankOf(int worldRank) const {
+    if (worldRank < 0 ||
+        worldRank >= static_cast<int>(worldToComm_.size()))
+      return -1;
+    return worldToComm_[static_cast<std::size_t>(worldRank)];
+  }
+
+  bool contains(int worldRank) const { return commRankOf(worldRank) >= 0; }
+
+ private:
+  friend class Simulation;
+
+  Comm(int id, std::vector<int> members, int worldSize);
+
+  struct PostedRecv {
+    int src;  // wanted source (comm rank) or kAnySource
+    int tag;  // wanted tag or kAnyTag
+    Request op;
+  };
+  struct StagedMsg {
+    int src;  // sender comm rank
+    int tag;
+    double bytes;
+    bool rendezvous;     // true: this is an RTS, data not yet moved
+    Request sendOp;      // rendezvous only: sender completion to signal
+    sim::SimTime ready;  // eager: payload arrival; rendezvous: RTS arrival
+  };
+  struct CollGate {
+    net::CollKind kind{};
+    double bytes = 0.0;
+    net::Dtype dt{};
+    int arrived = 0;
+    sim::SimTime lastArrival = 0.0;
+    std::vector<Request> ops;
+  };
+
+  int id_;
+  std::vector<int> members_;      // commRank -> worldRank
+  std::vector<int> worldToComm_;  // worldRank -> commRank or -1
+  std::vector<std::deque<PostedRecv>> postedRecvs_;  // per dst comm rank
+  std::vector<std::deque<StagedMsg>> staged_;        // per dst comm rank
+  std::vector<std::uint64_t> nextCollSeq_;           // per comm rank
+  std::unordered_map<std::uint64_t, CollGate> colls_;
+};
+
+}  // namespace bgp::smpi

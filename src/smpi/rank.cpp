@@ -1,0 +1,287 @@
+#include "smpi/rank.hpp"
+
+#include <string_view>
+
+#include "smpi/simulation.hpp"
+
+namespace bgp::smpi {
+
+// ---- AwaitOps ---------------------------------------------------------------
+
+AwaitOps::AwaitOps(Simulation& sim, Rank& rank, std::vector<Request> ops)
+    : sim_(&sim), rank_(&rank), ops_(std::move(ops)) {
+  BGP_REQUIRE_MSG(!ops_.empty(), "awaiting zero operations");
+  for (const auto& op : ops_) BGP_CHECK(op != nullptr);
+}
+
+bool AwaitOps::await_ready() const {
+  for (const auto& op : ops_)
+    if (!op->complete) return false;
+  return true;
+}
+
+void AwaitOps::await_suspend(std::coroutine_handle<> h) {
+  remaining_ = 0;
+  for (const auto& op : ops_)
+    if (!op->complete) ++remaining_;
+  if (remaining_ == 0) {
+    // Completed between construction and await; resume immediately.
+    sim_->engine().schedule(sim_->engine().now(), h);
+    return;
+  }
+  rank_->blockedOn_ = ops_.front()->what;
+  const double blockStart = sim_->engine().now();
+  const bool collective =
+      std::string_view(ops_.front()->what) == "collective";
+  for (const auto& op : ops_) {
+    if (op->complete) continue;
+    op->onComplete([this, h, blockStart, collective] {
+      BGP_CHECK(remaining_ > 0);
+      if (--remaining_ == 0) {
+        rank_->blockedOn_ = nullptr;
+        const double waited = sim_->engine().now() - blockStart;
+        if (collective) {
+          rank_->stats_.collWaitSeconds += waited;
+        } else {
+          rank_->stats_.p2pWaitSeconds += waited;
+        }
+        sim_->engine().schedule(sim_->engine().now(), h);
+      }
+    });
+  }
+}
+
+RecvInfo AwaitOps::await_resume() const { return ops_.front()->info; }
+
+// ---- AwaitAny ---------------------------------------------------------------
+
+AwaitAny::AwaitAny(Simulation& sim, Rank& rank, std::vector<Request> ops)
+    : sim_(&sim),
+      rank_(&rank),
+      ops_(std::move(ops)),
+      shared_(std::make_shared<Shared>()) {
+  BGP_REQUIRE_MSG(!ops_.empty(), "waitAny on zero operations");
+  for (const auto& op : ops_) BGP_CHECK(op != nullptr);
+}
+
+bool AwaitAny::await_ready() const {
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i]->complete) {
+      shared_->fired = true;
+      shared_->index = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+void AwaitAny::await_suspend(std::coroutine_handle<> h) {
+  rank_->blockedOn_ = "waitany";
+  const double blockStart = sim_->engine().now();
+  Rank* rank = rank_;
+  Simulation* sim = sim_;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    // Continuations capture the shared state by value: they may run after
+    // the awaiter (and even the coroutine) is gone, and must be inert
+    // after the first completion fires.
+    ops_[i]->onComplete([shared = shared_, i, h, rank, sim, blockStart] {
+      if (shared->fired) return;
+      shared->fired = true;
+      shared->index = i;
+      rank->blockedOn_ = nullptr;
+      rank->stats_.p2pWaitSeconds += sim->engine().now() - blockStart;
+      sim->engine().schedule(sim->engine().now(), h);
+    });
+  }
+}
+
+std::size_t AwaitAny::await_resume() const {
+  BGP_CHECK(shared_->fired);
+  return shared_->index;
+}
+
+// ---- AwaitCompute -----------------------------------------------------------
+
+AwaitCompute::AwaitCompute(Simulation& sim, Rank& rank, double seconds)
+    : sim_(&sim), rank_(&rank), seconds_(seconds) {
+  BGP_REQUIRE_MSG(seconds >= 0.0, "negative compute time");
+}
+
+void AwaitCompute::await_suspend(std::coroutine_handle<> h) {
+  rank_->blockedOn_ = "compute";
+  rank_->stats_.computeSeconds += seconds_;
+  sim_->engine().scheduleCallback(sim_->engine().now() + seconds_,
+                                  [this, h] {
+                                    rank_->blockedOn_ = nullptr;
+                                    h.resume();
+                                  });
+}
+
+// ---- Rank -------------------------------------------------------------------
+
+int Rank::size() const { return sim_->nranks(); }
+
+sim::SimTime Rank::now() const { return sim_->engine().now(); }
+
+AwaitCompute Rank::compute(double seconds) {
+  return AwaitCompute(*sim_, *this, noisy(seconds));
+}
+
+AwaitCompute Rank::compute(const arch::Work& w) {
+  return AwaitCompute(*sim_, *this, noisy(sim_->computeTime(w)));
+}
+
+double Rank::noisy(double seconds) {
+  const double f = sim_->system().machine().osNoiseFraction;
+  if (f <= 0.0 || seconds <= 0.0) return seconds;
+  // Mean-(1+f) multiplicative jitter, deterministic per rank stream.
+  return seconds * (1.0 + f * 2.0 * rng_.uniform());
+}
+
+Request Rank::isend(int dst, double bytes, int tag) {
+  return isend(sim_->world(), dst, bytes, tag);
+}
+
+Request Rank::irecv(int src, int tag) { return irecv(sim_->world(), src, tag); }
+
+Request Rank::isend(Comm& comm, int dst, double bytes, int tag) {
+  ++stats_.sends;
+  stats_.bytesSent += bytes;
+  return sim_->startSend(id_, comm, dst, bytes, tag);
+}
+
+Request Rank::irecv(Comm& comm, int src, int tag) {
+  ++stats_.recvs;
+  return sim_->postRecv(id_, comm, src, tag);
+}
+
+AwaitOps Rank::send(int dst, double bytes, int tag) {
+  return wait(isend(dst, bytes, tag));
+}
+
+AwaitOps Rank::recv(int src, int tag) { return wait(irecv(src, tag)); }
+
+AwaitOps Rank::send(Comm& comm, int dst, double bytes, int tag) {
+  return wait(isend(comm, dst, bytes, tag));
+}
+
+AwaitOps Rank::recv(Comm& comm, int src, int tag) {
+  return wait(irecv(comm, src, tag));
+}
+
+AwaitOps Rank::sendrecv(int dst, double sendBytes, int src, int sendTag,
+                        int recvTag) {
+  return sendrecv(sim_->world(), dst, sendBytes, src, sendTag, recvTag);
+}
+
+AwaitOps Rank::sendrecv(Comm& comm, int dst, double sendBytes, int src,
+                        int sendTag, int recvTag) {
+  // Post the receive before the send, as a correct MPI_Sendrecv must.
+  Request r = irecv(comm, src, recvTag);
+  Request s = isend(comm, dst, sendBytes, sendTag);
+  return waitAll({std::move(r), std::move(s)});
+}
+
+AwaitOps Rank::wait(Request r) {
+  return AwaitOps(*sim_, *this, {std::move(r)});
+}
+
+AwaitOps Rank::waitAll(std::vector<Request> rs) {
+  return AwaitOps(*sim_, *this, std::move(rs));
+}
+
+AwaitAny Rank::waitAny(std::vector<Request> rs) {
+  return AwaitAny(*sim_, *this, std::move(rs));
+}
+
+AwaitOps Rank::barrier() { return barrier(sim_->world()); }
+AwaitOps Rank::bcast(double bytes, int root) {
+  return bcast(sim_->world(), bytes, root);
+}
+AwaitOps Rank::reduce(double bytes, int root, net::Dtype dt) {
+  return reduce(sim_->world(), bytes, root, dt);
+}
+AwaitOps Rank::allreduce(double bytes, net::Dtype dt) {
+  return allreduce(sim_->world(), bytes, dt);
+}
+AwaitOps Rank::allgather(double bytesPerRank) {
+  return allgather(sim_->world(), bytesPerRank);
+}
+AwaitOps Rank::alltoall(double bytesPerPair) {
+  return alltoall(sim_->world(), bytesPerPair);
+}
+AwaitOps Rank::gather(double bytes, int root) {
+  ++stats_.collectives;
+  (void)root;
+  return AwaitOps(*sim_, *this,
+                  {sim_->joinCollective(sim_->world(),
+                                        sim_->world().commRankOf(id_),
+                                        net::CollKind::Gather, bytes,
+                                        net::Dtype::Byte)});
+}
+AwaitOps Rank::scatter(double bytes, int root) {
+  ++stats_.collectives;
+  (void)root;
+  return AwaitOps(*sim_, *this,
+                  {sim_->joinCollective(sim_->world(),
+                                        sim_->world().commRankOf(id_),
+                                        net::CollKind::Scatter, bytes,
+                                        net::Dtype::Byte)});
+}
+
+AwaitOps Rank::barrier(Comm& comm) {
+  ++stats_.collectives;
+  return AwaitOps(
+      *sim_, *this,
+      {sim_->joinCollective(comm, comm.commRankOf(id_),
+                            net::CollKind::Barrier, 0, net::Dtype::Byte)});
+}
+AwaitOps Rank::bcast(Comm& comm, double bytes, int root) {
+  ++stats_.collectives;
+  (void)root;  // timing is root-independent in the analytic model
+  return AwaitOps(
+      *sim_, *this,
+      {sim_->joinCollective(comm, comm.commRankOf(id_), net::CollKind::Bcast,
+                            bytes, net::Dtype::Byte)});
+}
+AwaitOps Rank::reduce(Comm& comm, double bytes, int root, net::Dtype dt) {
+  ++stats_.collectives;
+  (void)root;
+  return AwaitOps(*sim_, *this,
+                  {sim_->joinCollective(comm, comm.commRankOf(id_),
+                                        net::CollKind::Reduce, bytes, dt)});
+}
+AwaitOps Rank::allreduce(Comm& comm, double bytes, net::Dtype dt) {
+  ++stats_.collectives;
+  return AwaitOps(*sim_, *this,
+                  {sim_->joinCollective(comm, comm.commRankOf(id_),
+                                        net::CollKind::Allreduce, bytes, dt)});
+}
+AwaitOps Rank::allgather(Comm& comm, double bytesPerRank) {
+  ++stats_.collectives;
+  return AwaitOps(
+      *sim_, *this,
+      {sim_->joinCollective(comm, comm.commRankOf(id_),
+                            net::CollKind::Allgather, bytesPerRank,
+                            net::Dtype::Byte)});
+}
+AwaitOps Rank::alltoall(Comm& comm, double bytesPerPair) {
+  ++stats_.collectives;
+  return AwaitOps(
+      *sim_, *this,
+      {sim_->joinCollective(comm, comm.commRankOf(id_),
+                            net::CollKind::Alltoall, bytesPerPair,
+                            net::Dtype::Byte)});
+}
+
+double Rank::collectiveCost(net::CollKind kind, double bytes,
+                            net::Dtype dt) const {
+  return sim_->system().collectiveCost(kind, bytes, dt);
+}
+
+double Rank::collectiveCost(Comm& comm, net::CollKind kind, double bytes,
+                            net::Dtype dt) const {
+  return sim_->system().collectives().cost(kind, comm.size(), bytes, dt);
+}
+
+}  // namespace bgp::smpi

@@ -1,0 +1,181 @@
+#pragma once
+// The per-process handle a simulated MPI program runs against.
+//
+// A rank program is a coroutine `sim::Task program(Rank& self)`; every MPI
+// call is a `co_await` on one of the awaitables below.  Blocking calls are
+// sugar over the nonblocking ones: `co_await self.send(...)` is
+// isend + wait.  All of MPI's semantics that the paper's benchmarks rely
+// on are honoured: FIFO matching per (source, tag), ANY_SOURCE/ANY_TAG
+// wildcards, eager vs. rendezvous protocol by message size, and collective
+// operations that gate on the last arrival.
+
+#include <memory>
+#include <vector>
+
+#include "arch/node_model.hpp"
+#include "net/collective_model.hpp"
+#include "sim/task.hpp"
+#include "smpi/comm.hpp"
+#include "smpi/types.hpp"
+#include "support/rng.hpp"
+
+namespace bgp::smpi {
+
+class Simulation;
+class Rank;
+
+/// Per-rank activity counters, filled by the runtime as the program runs
+/// (the simulator's stand-in for the IBM HPC Toolkit profiling the paper
+/// references).  Query via Rank::stats() or Simulation::profile().
+struct RankStats {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t collectives = 0;
+  double bytesSent = 0.0;
+  double computeSeconds = 0.0;   // simulated busy time
+  double p2pWaitSeconds = 0.0;   // blocked on sends/recvs/waits
+  double collWaitSeconds = 0.0;  // blocked in collectives
+};
+
+/// Awaits completion of one or more operations; resumes when all are done.
+/// `await_resume` returns the RecvInfo of the first operation (meaningful
+/// for receives).
+class AwaitOps {
+ public:
+  AwaitOps(Simulation& sim, Rank& rank, std::vector<Request> ops);
+
+  bool await_ready() const;
+  void await_suspend(std::coroutine_handle<> h);
+  RecvInfo await_resume() const;
+
+ private:
+  Simulation* sim_;
+  Rank* rank_;
+  std::vector<Request> ops_;
+  std::size_t remaining_ = 0;
+};
+
+/// Awaits the FIRST completion among several operations (MPI_Waitany);
+/// `await_resume` returns the index of the completed operation.  The
+/// other requests stay live and can be awaited again later.
+class AwaitAny {
+ public:
+  AwaitAny(Simulation& sim, Rank& rank, std::vector<Request> ops);
+
+  bool await_ready() const;
+  void await_suspend(std::coroutine_handle<> h);
+  std::size_t await_resume() const;
+
+ private:
+  struct Shared {
+    bool fired = false;
+    std::size_t index = 0;
+  };
+  Simulation* sim_;
+  Rank* rank_;
+  std::vector<Request> ops_;
+  std::shared_ptr<Shared> shared_;
+};
+
+/// Awaits a pure time delay (compute block).
+class AwaitCompute {
+ public:
+  AwaitCompute(Simulation& sim, Rank& rank, double seconds);
+  bool await_ready() const { return seconds_ <= 0.0; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const {}
+
+ private:
+  Simulation* sim_;
+  Rank* rank_;
+  double seconds_;
+};
+
+class Rank {
+ public:
+  int id() const { return id_; }
+  int size() const;
+  sim::SimTime now() const;
+  Rng& rng() { return rng_; }
+  Simulation& sim() { return *sim_; }
+
+  // ---- compute -------------------------------------------------------------
+  /// Simulated busy time of `seconds`.
+  AwaitCompute compute(double seconds);
+  /// Simulated execution of `w` under the current mode's thread/task split.
+  AwaitCompute compute(const arch::Work& w);
+
+  // ---- point-to-point (world communicator) ----------------------------------
+  Request isend(int dst, double bytes, int tag = 0);
+  Request irecv(int src = kAnySource, int tag = kAnyTag);
+  AwaitOps send(int dst, double bytes, int tag = 0);
+  AwaitOps recv(int src = kAnySource, int tag = kAnyTag);
+  /// MPI_Sendrecv: both directions concurrently; resumes when both finish.
+  AwaitOps sendrecv(int dst, double sendBytes, int src, int sendTag = 0,
+                    int recvTag = kAnyTag);
+
+  // ---- point-to-point (explicit communicator; ranks are comm ranks) ---------
+  Request isend(Comm& comm, int dst, double bytes, int tag = 0);
+  Request irecv(Comm& comm, int src = kAnySource, int tag = kAnyTag);
+  AwaitOps send(Comm& comm, int dst, double bytes, int tag = 0);
+  AwaitOps recv(Comm& comm, int src = kAnySource, int tag = kAnyTag);
+  AwaitOps sendrecv(Comm& comm, int dst, double sendBytes, int src,
+                    int sendTag = 0, int recvTag = kAnyTag);
+
+  // ---- completion ------------------------------------------------------------
+  AwaitOps wait(Request r);
+  AwaitOps waitAll(std::vector<Request> rs);
+  AwaitAny waitAny(std::vector<Request> rs);
+
+  // ---- collectives (world unless a Comm is given) ----------------------------
+  AwaitOps barrier();
+  AwaitOps bcast(double bytes, int root = 0);
+  AwaitOps reduce(double bytes, int root = 0,
+                  net::Dtype dt = net::Dtype::Double);
+  AwaitOps allreduce(double bytes, net::Dtype dt = net::Dtype::Double);
+  AwaitOps allgather(double bytesPerRank);
+  AwaitOps alltoall(double bytesPerPair);
+  AwaitOps gather(double bytes, int root = 0);
+  AwaitOps scatter(double bytes, int root = 0);
+
+  AwaitOps barrier(Comm& comm);
+  AwaitOps bcast(Comm& comm, double bytes, int root = 0);
+  AwaitOps reduce(Comm& comm, double bytes, int root = 0,
+                  net::Dtype dt = net::Dtype::Double);
+  AwaitOps allreduce(Comm& comm, double bytes,
+                     net::Dtype dt = net::Dtype::Double);
+  AwaitOps allgather(Comm& comm, double bytesPerRank);
+  AwaitOps alltoall(Comm& comm, double bytesPerPair);
+
+  /// Analytic cost of one collective at world size — used by application
+  /// models that charge `iters * cost` inside a single gate instead of
+  /// simulating thousands of identical iterations event-by-event.
+  double collectiveCost(net::CollKind kind, double bytes,
+                        net::Dtype dt = net::Dtype::Double) const;
+  double collectiveCost(Comm& comm, net::CollKind kind, double bytes,
+                        net::Dtype dt = net::Dtype::Double) const;
+
+  /// What this rank is currently blocked on (deadlock diagnostics).
+  const char* blockedOn() const { return blockedOn_; }
+
+  /// Activity counters accumulated so far.
+  const RankStats& stats() const { return stats_; }
+
+  /// Applies the machine's OS-noise jitter to a compute interval (no-op
+  /// on the noiseless CNK/Catamount microkernels).
+  double noisy(double seconds);
+
+ private:
+  friend class Simulation;
+  friend class AwaitOps;
+  friend class AwaitAny;
+  friend class AwaitCompute;
+
+  Simulation* sim_ = nullptr;
+  int id_ = -1;
+  Rng rng_;
+  const char* blockedOn_ = nullptr;
+  RankStats stats_;
+};
+
+}  // namespace bgp::smpi

@@ -1,0 +1,296 @@
+#include "smpi/simulation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/expect.hpp"
+
+namespace bgp::smpi {
+
+Simulation::Simulation(arch::MachineConfig machine, std::int64_t nranks,
+                       net::SystemOptions options, std::uint64_t seed)
+    : machine_(std::move(machine)), nranks_(nranks) {
+  BGP_REQUIRE_MSG(nranks >= 1, "need at least one rank");
+  system_ = std::make_unique<net::System>(machine_, nranks, options);
+  std::vector<int> all(static_cast<std::size_t>(nranks));
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  world_.reset(new Comm(0, std::move(all), static_cast<int>(nranks)));
+  std::uint64_t sm = seed;
+  for (std::int64_t i = 0; i < nranks; ++i) {
+    ranks_.emplace_back();
+    ranks_.back().sim_ = this;
+    ranks_.back().id_ = static_cast<int>(i);
+    ranks_.back().rng_.reseed(splitmix64(sm));
+  }
+}
+
+RunResult Simulation::run(const RankProgram& program) {
+  BGP_REQUIRE_MSG(!ran_, "Simulation::run may be called once");
+  ran_ = true;
+  std::vector<sim::Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(nranks_));
+  std::vector<double> finish(static_cast<std::size_t>(nranks_), -1.0);
+  for (std::int64_t i = 0; i < nranks_; ++i) {
+    tasks.push_back(program(ranks_[static_cast<std::size_t>(i)]));
+    auto& task = tasks.back();
+    BGP_REQUIRE_MSG(task.valid(), "rank program returned an invalid task");
+    task.setOnDone(
+        [this, &finish, i] { finish[static_cast<std::size_t>(i)] = engine_.now(); });
+    engine_.schedule(0.0, task.handle());
+  }
+  engine_.run();
+
+  for (auto& task : tasks) task.rethrowIfFailed();
+
+  std::vector<int> blocked;
+  for (std::int64_t i = 0; i < nranks_; ++i)
+    if (finish[static_cast<std::size_t>(i)] < 0)
+      blocked.push_back(static_cast<int>(i));
+  if (!blocked.empty()) {
+    std::ostringstream os;
+    os << "deadlock: " << blocked.size() << "/" << nranks_
+       << " ranks blocked;";
+    for (std::size_t i = 0; i < blocked.size() && i < 8; ++i) {
+      const Rank& r = ranks_[static_cast<std::size_t>(blocked[i])];
+      os << " rank " << blocked[i] << " on "
+         << (r.blockedOn() ? r.blockedOn() : "?") << ";";
+    }
+    throw DeadlockError(os.str());
+  }
+
+  RunResult result;
+  result.finishTimes = std::move(finish);
+  result.makespan =
+      *std::max_element(result.finishTimes.begin(), result.finishTimes.end());
+  result.events = engine_.eventsProcessed();
+  return result;
+}
+
+std::vector<Comm*> Simulation::splitWorld(
+    const std::vector<int>& colorPerWorldRank) {
+  BGP_REQUIRE_MSG(
+      colorPerWorldRank.size() == static_cast<std::size_t>(nranks_),
+      "need one color per world rank");
+  std::map<int, std::vector<int>> byColor;
+  for (std::size_t w = 0; w < colorPerWorldRank.size(); ++w) {
+    const int color = colorPerWorldRank[w];
+    if (color < 0) continue;  // MPI_UNDEFINED
+    byColor[color].push_back(static_cast<int>(w));
+  }
+  std::vector<Comm*> result;
+  result.reserve(byColor.size());
+  for (auto& [color, members] : byColor) {
+    subComms_.emplace_back(new Comm(nextCommId_++, std::move(members),
+                                    static_cast<int>(nranks_)));
+    result.push_back(subComms_.back().get());
+  }
+  return result;
+}
+
+Comm& Simulation::commOf(const std::vector<Comm*>& comms, int worldRank) {
+  for (Comm* c : comms)
+    if (c->contains(worldRank)) return *c;
+  BGP_REQUIRE_MSG(false, "world rank belongs to no sub-communicator");
+  return *comms.front();  // unreachable
+}
+
+void Simulation::requireMemoryPerTask(double bytes) const {
+  const double limit = system_->memPerTaskBytes();
+  if (bytes > limit) {
+    std::ostringstream os;
+    os << machine_.name << " " << arch::toString(system_->options().mode)
+       << " mode: task needs " << bytes / (1024.0 * 1024.0) << " MiB but has "
+       << limit / (1024.0 * 1024.0) << " MiB";
+    throw OutOfMemoryError(os.str());
+  }
+}
+
+const RankStats& Simulation::rankStats(int worldRank) const {
+  BGP_REQUIRE(worldRank >= 0 && worldRank < nranks_);
+  return ranks_[static_cast<std::size_t>(worldRank)].stats();
+}
+
+Simulation::Profile Simulation::profile() const {
+  Profile p;
+  double maxCompute = 0.0;
+  for (const Rank& r : ranks_) {
+    const RankStats& s = r.stats();
+    p.sends += s.sends;
+    p.collectives += s.collectives;
+    p.bytesSent += s.bytesSent;
+    p.computeSeconds += s.computeSeconds;
+    p.p2pWaitSeconds += s.p2pWaitSeconds;
+    p.collWaitSeconds += s.collWaitSeconds;
+    maxCompute = std::max(maxCompute, s.computeSeconds);
+  }
+  const double meanCompute =
+      p.computeSeconds / static_cast<double>(nranks_);
+  p.computeImbalance = meanCompute > 0 ? maxCompute / meanCompute : 1.0;
+  const double total =
+      p.computeSeconds + p.p2pWaitSeconds + p.collWaitSeconds;
+  p.commFraction =
+      total > 0 ? (p.p2pWaitSeconds + p.collWaitSeconds) / total : 0.0;
+  return p;
+}
+
+bool Simulation::matches(int wantedSrc, int wantedTag, int src, int tag) {
+  return (wantedSrc == kAnySource || wantedSrc == src) &&
+         (wantedTag == kAnyTag || wantedTag == tag);
+}
+
+Request Simulation::startSend(int worldSrc, Comm& comm, int dstCommRank,
+                              double bytes, int tag) {
+  BGP_REQUIRE(bytes >= 0);
+  BGP_REQUIRE_MSG(tag >= 0, "tags must be non-negative");
+  const int srcCommRank = comm.commRankOf(worldSrc);
+  BGP_REQUIRE_MSG(srcCommRank >= 0, "sender not in communicator");
+  BGP_REQUIRE_MSG(dstCommRank >= 0 && dstCommRank < comm.size(),
+                  "destination rank out of range");
+  auto op = std::make_shared<OpState>();
+  op->what = "send";
+
+  const int worldDst = comm.worldRank(dstCommRank);
+  const topo::NodeId srcNode = system_->nodeOf(worldSrc);
+  const topo::NodeId dstNode = system_->nodeOf(worldDst);
+
+  if (bytes <= system_->eagerThreshold()) {
+    const auto tr = system_->torusNetwork().transfer(srcNode, dstNode, bytes,
+                                                     engine_.now());
+    engine_.scheduleCallback(tr.injected, [op] { op->finish(); });
+    engine_.scheduleCallback(
+        tr.arrival, [this, &comm, srcCommRank, dstCommRank, tag, bytes] {
+          deliverEager(comm, srcCommRank, dstCommRank, tag, bytes);
+        });
+  } else {
+    // Rendezvous: a small ready-to-send control message travels first; the
+    // payload only moves once the receiver has posted a matching receive.
+    const double rtsLat =
+        system_->torusNetwork().latencyEstimate(srcNode, dstNode, 64);
+    engine_.scheduleCallback(
+        engine_.now() + rtsLat,
+        [this, &comm, srcCommRank, dstCommRank, tag, bytes, op] {
+          arriveRts(comm, srcCommRank, dstCommRank, tag, bytes, op);
+        });
+  }
+  return op;
+}
+
+void Simulation::deliverEager(Comm& comm, int src, int dst, int tag,
+                              double bytes) {
+  auto& posted = comm.postedRecvs_[static_cast<std::size_t>(dst)];
+  for (auto it = posted.begin(); it != posted.end(); ++it) {
+    if (matches(it->src, it->tag, src, tag)) {
+      Request op = it->op;
+      posted.erase(it);
+      op->info = RecvInfo{src, tag, bytes};
+      op->finish();
+      return;
+    }
+  }
+  comm.staged_[static_cast<std::size_t>(dst)].push_back(
+      Comm::StagedMsg{src, tag, bytes, false, nullptr, engine_.now()});
+}
+
+void Simulation::arriveRts(Comm& comm, int src, int dst, int tag,
+                           double bytes, Request sendOp) {
+  auto& posted = comm.postedRecvs_[static_cast<std::size_t>(dst)];
+  for (auto it = posted.begin(); it != posted.end(); ++it) {
+    if (matches(it->src, it->tag, src, tag)) {
+      Request recvOp = it->op;
+      posted.erase(it);
+      startRendezvousData(comm, src, dst, tag, bytes, sendOp, recvOp);
+      return;
+    }
+  }
+  comm.staged_[static_cast<std::size_t>(dst)].push_back(
+      Comm::StagedMsg{src, tag, bytes, true, std::move(sendOp),
+                      engine_.now()});
+}
+
+void Simulation::startRendezvousData(Comm& comm, int src, int dst, int tag,
+                                     double bytes, const Request& sendOp,
+                                     const Request& recvOp) {
+  const topo::NodeId srcNode = system_->nodeOf(comm.worldRank(src));
+  const topo::NodeId dstNode = system_->nodeOf(comm.worldRank(dst));
+  // Clear-to-send travels back, then the payload moves.
+  const double ctsLat =
+      system_->torusNetwork().latencyEstimate(dstNode, srcNode, 64);
+  const sim::SimTime dataStart = engine_.now() + ctsLat;
+  const auto tr =
+      system_->torusNetwork().transfer(srcNode, dstNode, bytes, dataStart);
+  engine_.scheduleCallback(tr.injected, [sendOp] { sendOp->finish(); });
+  engine_.scheduleCallback(tr.arrival, [recvOp, src, tag, bytes] {
+    recvOp->info = RecvInfo{src, tag, bytes};
+    recvOp->finish();
+  });
+}
+
+Request Simulation::postRecv(int worldDst, Comm& comm, int srcWanted,
+                             int tagWanted) {
+  const int dst = comm.commRankOf(worldDst);
+  BGP_REQUIRE_MSG(dst >= 0, "receiver not in communicator");
+  BGP_REQUIRE_MSG(srcWanted == kAnySource ||
+                      (srcWanted >= 0 && srcWanted < comm.size()),
+                  "source rank out of range");
+  auto op = std::make_shared<OpState>();
+  op->what = "recv";
+
+  auto& staged = comm.staged_[static_cast<std::size_t>(dst)];
+  for (auto it = staged.begin(); it != staged.end(); ++it) {
+    if (matches(srcWanted, tagWanted, it->src, it->tag)) {
+      const Comm::StagedMsg msg = *it;
+      staged.erase(it);
+      if (msg.rendezvous) {
+        startRendezvousData(comm, msg.src, dst, msg.tag, msg.bytes,
+                            msg.sendOp, op);
+      } else {
+        op->info = RecvInfo{msg.src, msg.tag, msg.bytes};
+        op->finish();
+      }
+      return op;
+    }
+  }
+  comm.postedRecvs_[static_cast<std::size_t>(dst)].push_back(
+      Comm::PostedRecv{srcWanted, tagWanted, op});
+  return op;
+}
+
+Request Simulation::joinCollective(Comm& comm, int commRank,
+                                   net::CollKind kind, double bytes,
+                                   net::Dtype dt) {
+  BGP_REQUIRE(commRank >= 0 && commRank < comm.size());
+  auto op = std::make_shared<OpState>();
+  op->what = "collective";
+
+  const std::uint64_t seq =
+      comm.nextCollSeq_[static_cast<std::size_t>(commRank)]++;
+  auto& gate = comm.colls_[seq];
+  if (gate.arrived == 0) {
+    gate.kind = kind;
+    gate.dt = dt;
+  } else {
+    BGP_REQUIRE_MSG(gate.kind == kind,
+                    "collective mismatch: ranks disagree on operation " +
+                        net::toString(gate.kind) + " vs " +
+                        net::toString(kind));
+  }
+  gate.bytes = std::max(gate.bytes, bytes);
+  ++gate.arrived;
+  gate.lastArrival = std::max(gate.lastArrival, engine_.now());
+  gate.ops.push_back(op);
+
+  if (gate.arrived == comm.size()) {
+    // The BG/P tree/barrier networks only serve the full partition; sub-
+    // communicator collectives run torus algorithms (comm id 0 = world).
+    const double duration = system_->collectives().cost(
+        kind, comm.size(), gate.bytes, gate.dt, comm.id() == 0);
+    const sim::SimTime done = gate.lastArrival + duration;
+    for (auto& slot : gate.ops)
+      engine_.scheduleCallback(done, [slot] { slot->finish(); });
+    comm.colls_.erase(seq);
+  }
+  return op;
+}
+
+}  // namespace bgp::smpi

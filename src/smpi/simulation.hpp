@@ -1,0 +1,99 @@
+#pragma once
+// The simulation runtime: owns the engine, the machine System, the world
+// communicator, and the per-rank coroutines.  See DESIGN.md §4.
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/system.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "smpi/comm.hpp"
+#include "smpi/rank.hpp"
+#include "smpi/types.hpp"
+
+namespace bgp::smpi {
+
+/// A rank program: invoked once per rank to create its coroutine.
+using RankProgram = std::function<sim::Task(Rank&)>;
+
+class Simulation {
+ public:
+  Simulation(arch::MachineConfig machine, std::int64_t nranks,
+             net::SystemOptions options = {}, std::uint64_t seed = 0x5eed);
+
+  /// Runs `program` on every rank to completion; may be called once.
+  /// Throws DeadlockError if ranks block forever, and rethrows the first
+  /// exception any rank program raised.
+  RunResult run(const RankProgram& program);
+
+  net::System& system() { return *system_; }
+  const net::System& system() const { return *system_; }
+  sim::Engine& engine() { return engine_; }
+  Comm& world() { return *world_; }
+  int nranks() const { return static_cast<int>(nranks_); }
+
+  /// Creates sub-communicators grouping world ranks by color (>= 0); a
+  /// color of -1 leaves that rank out of every sub-communicator.  Returns
+  /// pointers valid for the Simulation's lifetime, ordered by color.
+  std::vector<Comm*> splitWorld(const std::vector<int>& colorPerWorldRank);
+
+  /// The sub-communicator in `comms` containing `worldRank`.
+  static Comm& commOf(const std::vector<Comm*>& comms, int worldRank);
+
+  /// Throws OutOfMemoryError if a per-task allocation of `bytes` exceeds
+  /// the execution mode's memory per task.
+  void requireMemoryPerTask(double bytes) const;
+
+  /// Per-rank activity counters (valid during and after run()).
+  const RankStats& rankStats(int worldRank) const;
+
+  /// Aggregated profile across all ranks.
+  struct Profile {
+    std::uint64_t sends = 0;
+    std::uint64_t collectives = 0;
+    double bytesSent = 0.0;
+    double computeSeconds = 0.0;   // sum over ranks
+    double p2pWaitSeconds = 0.0;
+    double collWaitSeconds = 0.0;
+    /// max/mean of per-rank compute time (1.0 = perfectly balanced).
+    double computeImbalance = 1.0;
+    /// fraction of total rank-time spent blocked on communication.
+    double commFraction = 0.0;
+  };
+  Profile profile() const;
+
+  double computeTime(const arch::Work& w) const {
+    return system_->computeTime(w);
+  }
+
+  // ---- runtime internals used by Rank/awaitables ---------------------------
+  Request startSend(int worldSrc, Comm& comm, int dstCommRank, double bytes,
+                    int tag);
+  Request postRecv(int worldDst, Comm& comm, int srcWanted, int tagWanted);
+  Request joinCollective(Comm& comm, int commRank, net::CollKind kind,
+                         double bytes, net::Dtype dt);
+
+ private:
+  struct Match;
+  void deliverEager(Comm& comm, int src, int dst, int tag, double bytes);
+  void arriveRts(Comm& comm, int src, int dst, int tag, double bytes,
+                 Request sendOp);
+  void startRendezvousData(Comm& comm, int src, int dst, int tag,
+                           double bytes, const Request& sendOp,
+                           const Request& recvOp);
+  static bool matches(int wantedSrc, int wantedTag, int src, int tag);
+
+  arch::MachineConfig machine_;
+  std::int64_t nranks_;
+  sim::Engine engine_;
+  std::unique_ptr<net::System> system_;
+  std::unique_ptr<Comm> world_;
+  std::deque<std::unique_ptr<Comm>> subComms_;
+  int nextCommId_ = 1;
+  std::deque<Rank> ranks_;
+  bool ran_ = false;
+};
+
+}  // namespace bgp::smpi

@@ -1,0 +1,70 @@
+#include "smpi/trace.hpp"
+
+#include <ostream>
+
+#include "smpi/rank.hpp"
+#include "support/units.hpp"
+
+namespace bgp::smpi {
+
+void Tracer::record(int rank, const std::string& name, sim::SimTime begin,
+                    sim::SimTime end) {
+  BGP_REQUIRE_MSG(end >= begin, "trace interval ends before it begins");
+  events_.push_back(Event{rank, name, begin, end});
+}
+
+void Tracer::instant(int rank, const std::string& name) {
+  const sim::SimTime t = engine_->now();
+  events_.push_back(Event{rank, name, t, t});
+}
+
+namespace {
+void jsonEscape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+}  // namespace
+
+void Tracer::writeChromeJson(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    const double us = e.begin * 1e6;
+    if (e.end == e.begin) {
+      os << "{\"name\":\"";
+      jsonEscape(os, e.name);
+      os << "\",\"ph\":\"i\",\"ts\":" << us << ",\"pid\":0,\"tid\":" << e.rank
+         << ",\"s\":\"t\"}";
+    } else {
+      os << "{\"name\":\"";
+      jsonEscape(os, e.name);
+      os << "\",\"ph\":\"X\",\"ts\":" << us
+         << ",\"dur\":" << (e.end - e.begin) * 1e6
+         << ",\"pid\":0,\"tid\":" << e.rank << "}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+void Tracer::writeText(std::ostream& os) const {
+  for (const Event& e : events_) {
+    os << "rank " << e.rank << "  " << units::formatTime(e.begin) << " .. "
+       << units::formatTime(e.end) << "  " << e.name << '\n';
+  }
+}
+
+TraceSpan::TraceSpan(Tracer& tracer, const Rank& rank, std::string name)
+    : tracer_(&tracer),
+      rank_(rank.id()),
+      name_(std::move(name)),
+      begin_(tracer.now()) {}
+
+TraceSpan::~TraceSpan() {
+  tracer_->record(rank_, name_, begin_, tracer_->now());
+}
+
+}  // namespace bgp::smpi

@@ -1,0 +1,78 @@
+#pragma once
+// Timeline tracing for simulated programs.
+//
+// A Tracer records per-rank intervals (compute, p2p, collective, custom
+// phases) and exports them in the Chrome trace-event JSON format, which
+// chrome://tracing, Perfetto, and Speedscope all open — giving the
+// simulator the timeline-viewer role the IBM HPC Toolkit played for the
+// paper's authors.
+//
+// Tracing is explicit: programs wrap regions in `TraceSpan` RAII guards or
+// call begin/end directly.  The runtime never traces implicitly, so the
+// 40,000-rank production runs pay nothing.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "support/expect.hpp"
+
+namespace bgp::smpi {
+
+class Rank;
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Engine& engine) : engine_(&engine) {}
+
+  /// Records a completed interval [begin, end] on `rank`'s timeline.
+  void record(int rank, const std::string& name, sim::SimTime begin,
+              sim::SimTime end);
+
+  /// Marks an instantaneous event.
+  void instant(int rank, const std::string& name);
+
+  std::size_t eventCount() const { return events_.size(); }
+
+  struct Event {
+    int rank;
+    std::string name;
+    sim::SimTime begin;
+    sim::SimTime end;  // == begin for instants
+  };
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Chrome trace-event JSON ("traceEvents" array of X/i phases, one
+  /// "thread" per rank, microsecond timestamps).
+  void writeChromeJson(std::ostream& os) const;
+
+  /// Plain-text dump, one line per event (for tests and quick looks).
+  void writeText(std::ostream& os) const;
+
+  sim::SimTime now() const { return engine_->now(); }
+
+ private:
+  sim::Engine* engine_;
+  std::vector<Event> events_;
+};
+
+/// RAII region guard:
+///   { TraceSpan span(tracer, self, "baroclinic"); co_await ...; }
+/// The span closes at destruction using the simulated clock.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer& tracer, const Rank& rank, std::string name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  Tracer* tracer_;
+  int rank_;
+  std::string name_;
+  sim::SimTime begin_;
+};
+
+}  // namespace bgp::smpi

@@ -1,0 +1,71 @@
+#pragma once
+// Shared vocabulary types for the simulated MPI runtime.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace bgp::smpi {
+
+/// Wildcards, as in MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Completion info for a receive (MPI_Status equivalent).
+struct RecvInfo {
+  int source = -1;
+  int tag = -1;
+  double bytes = 0.0;
+};
+
+/// Thrown when a simulated application exceeds the per-task memory of the
+/// current execution mode (e.g. GYRO B3-gtc in VN mode on BG/P, which the
+/// paper had to run in DUAL mode).
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// State of one in-flight operation (send, recv, or collective slot).
+/// Completion runs registered continuations, which resume awaiting
+/// coroutines via the engine at the current simulated time.
+struct OpState {
+  bool complete = false;
+  RecvInfo info;
+  const char* what = "op";  // for deadlock diagnostics
+
+  void onComplete(std::function<void()> fn) {
+    if (complete) {
+      fn();
+    } else {
+      continuations_.push_back(std::move(fn));
+    }
+  }
+
+  void finish() {
+    BGP_CHECK_MSG(!complete, "operation completed twice");
+    complete = true;
+    for (auto& fn : continuations_) fn();
+    continuations_.clear();
+  }
+
+ private:
+  std::vector<std::function<void()>> continuations_;
+};
+
+/// Handle to a nonblocking operation (MPI_Request equivalent).
+using Request = std::shared_ptr<OpState>;
+
+/// Result of Simulation::run().
+struct RunResult {
+  double makespan = 0.0;  // max over ranks of coroutine finish time (s)
+  std::vector<double> finishTimes;
+  std::uint64_t events = 0;
+};
+
+}  // namespace bgp::smpi

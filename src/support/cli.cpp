@@ -1,0 +1,56 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+#include "support/expect.hpp"
+
+namespace bgp {
+
+Cli::Cli(int argc, const char* const* argv) {
+  BGP_REQUIRE(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return flags_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key,
+                     const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long Cli::getInt(const std::string& key, long fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::getDouble(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::getBool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace bgp

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal command-line parsing for the bench/example binaries.
+// Supports "--key=value", "--key value" and boolean "--flag" forms.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bgp {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long getInt(const std::string& key, long fallback) const;
+  double getDouble(const std::string& key, double fallback) const;
+  bool getBool(const std::string& key, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bgp

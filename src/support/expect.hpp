@@ -1,0 +1,72 @@
+#pragma once
+// Error-handling primitives shared across the library.
+//
+// BGP_REQUIRE is for preconditions that indicate a caller bug (throws
+// bgp::PreconditionError).  BGP_CHECK is for internal invariants (throws
+// bgp::InternalError).  Both are always on: the library simulates machines
+// and a silent invariant violation would corrupt a result table, which is
+// far worse than the cost of a branch.
+
+#include <stdexcept>
+#include <string>
+
+namespace bgp {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant of the library is violated.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a simulated program deadlocks (all ranks blocked, no events).
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throwPrecondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition failed: " + expr +
+                          (msg.empty() ? "" : " — " + msg));
+}
+[[noreturn]] inline void throwInternal(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                      ": invariant violated: " + expr +
+                      (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace bgp
+
+#define BGP_REQUIRE(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) ::bgp::detail::throwPrecondition(#expr, __FILE__, __LINE__, \
+                                                  std::string());           \
+  } while (false)
+
+#define BGP_REQUIRE_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) ::bgp::detail::throwPrecondition(#expr, __FILE__, __LINE__, \
+                                                  (msg));                   \
+  } while (false)
+
+#define BGP_CHECK(expr)                                                 \
+  do {                                                                  \
+    if (!(expr)) ::bgp::detail::throwInternal(#expr, __FILE__, __LINE__, \
+                                              std::string());           \
+  } while (false)
+
+#define BGP_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::bgp::detail::throwInternal(#expr, __FILE__, __LINE__, \
+                                              (msg));                   \
+  } while (false)

@@ -1,0 +1,89 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expect.hpp"
+
+namespace bgp {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nTotal = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nTotal;
+  mean_ = (na * mean_ + nb * other.mean_) / nTotal;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double p) {
+  BGP_REQUIRE_MSG(!values.empty(), "percentile of empty span");
+  BGP_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double maxOf(std::span<const double> values) {
+  BGP_REQUIRE(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double minOf(std::span<const double> values) {
+  BGP_REQUIRE(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double imbalance(std::span<const double> values) {
+  BGP_REQUIRE(!values.empty());
+  const double m = mean(values);
+  if (m == 0.0) return 1.0;
+  return maxOf(values) / m;
+}
+
+}  // namespace bgp

@@ -1,0 +1,50 @@
+#pragma once
+// Small statistics helpers used by benchmark harnesses and the simulator's
+// per-rank timing reports.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bgp {
+
+/// Online accumulator for min/max/mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation; p in [0, 100].  Copies + sorts.
+double percentile(std::span<const double> values, double p);
+
+/// Arithmetic mean of a span (0 for empty).
+double mean(std::span<const double> values);
+
+/// Maximum of a span; requires non-empty.
+double maxOf(std::span<const double> values);
+
+/// Minimum of a span; requires non-empty.
+double minOf(std::span<const double> values);
+
+/// Load imbalance ratio: max/mean of the values (1.0 = perfectly balanced).
+double imbalance(std::span<const double> values);
+
+}  // namespace bgp

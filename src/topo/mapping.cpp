@@ -1,0 +1,124 @@
+#include "topo/mapping.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace bgp::topo {
+
+namespace {
+int axisOfLetter(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'X':
+      return 0;
+    case 'Y':
+      return 1;
+    case 'Z':
+      return 2;
+    case 'T':
+      return 3;
+    default:
+      BGP_REQUIRE_MSG(false, std::string("invalid mapping letter: ") + c);
+  }
+  return -1;  // unreachable
+}
+}  // namespace
+
+Mapping::Mapping(const Torus3D& torus, int tasksPerNode,
+                 const std::string& order)
+    : torus_(&torus), tasksPerNode_(tasksPerNode), order_(order) {
+  BGP_REQUIRE_MSG(tasksPerNode >= 1 && tasksPerNode <= 64,
+                  "unreasonable tasks-per-node");
+  BGP_REQUIRE_MSG(order.size() == 4, "mapping order must have 4 letters");
+  std::array<bool, 4> seen{};
+  for (int i = 0; i < 4; ++i) {
+    const int axis = axisOfLetter(order[static_cast<std::size_t>(i)]);
+    BGP_REQUIRE_MSG(!seen[static_cast<std::size_t>(axis)],
+                    "mapping order repeats a letter: " + order);
+    seen[static_cast<std::size_t>(axis)] = true;
+    axes_[static_cast<std::size_t>(i)] = axis;
+  }
+  const int dimOf[4] = {torus.dimX(), torus.dimY(), torus.dimZ(),
+                        tasksPerNode};
+  for (int i = 0; i < 4; ++i)
+    extents_[static_cast<std::size_t>(i)] =
+        dimOf[axes_[static_cast<std::size_t>(i)]];
+}
+
+Mapping::Mapping(const Torus3D& torus, int tasksPerNode,
+                 std::vector<Placement> mapfile)
+    : torus_(&torus),
+      tasksPerNode_(tasksPerNode),
+      order_("FILE"),
+      mapfile_(std::move(mapfile)) {
+  BGP_REQUIRE_MSG(!mapfile_.empty(), "mapfile cannot be empty");
+  BGP_REQUIRE(tasksPerNode >= 1);
+  std::vector<std::int64_t> seen;
+  seen.reserve(mapfile_.size());
+  for (const Placement& p : mapfile_) {
+    BGP_REQUIRE_MSG(p.node >= 0 && p.node < torus.count(),
+                    "mapfile node outside torus");
+    BGP_REQUIRE_MSG(p.core >= 0 && p.core < tasksPerNode,
+                    "mapfile core outside tasks-per-node");
+    seen.push_back(std::int64_t{p.node} * tasksPerNode + p.core);
+  }
+  std::sort(seen.begin(), seen.end());
+  BGP_REQUIRE_MSG(std::adjacent_find(seen.begin(), seen.end()) == seen.end(),
+                  "mapfile places two ranks on the same core");
+  // The axes/extents members are unused for mapfiles.
+  extents_ = {torus.dimX(), torus.dimY(), torus.dimZ(), tasksPerNode};
+  axes_ = {0, 1, 2, 3};
+}
+
+Placement Mapping::place(std::int64_t rank) const {
+  if (!mapfile_.empty()) {
+    BGP_REQUIRE_MSG(
+        rank >= 0 && rank < static_cast<std::int64_t>(mapfile_.size()),
+        "rank beyond mapfile length");
+    return mapfile_[static_cast<std::size_t>(rank)];
+  }
+  BGP_REQUIRE_MSG(rank >= 0 && rank < maxRanks(), "rank out of range");
+  int value[4] = {0, 0, 0, 0};  // X, Y, Z, T
+  std::int64_t rest = rank;
+  for (int i = 0; i < 4; ++i) {
+    const int extent = extents_[static_cast<std::size_t>(i)];
+    value[axes_[static_cast<std::size_t>(i)]] =
+        static_cast<int>(rest % extent);
+    rest /= extent;
+  }
+  Placement p;
+  p.node = torus_->nodeAt(Coord3{value[0], value[1], value[2]});
+  p.core = value[3];
+  return p;
+}
+
+std::int64_t Mapping::rankOf(Placement p) const {
+  if (!mapfile_.empty()) {
+    for (std::size_t i = 0; i < mapfile_.size(); ++i)
+      if (mapfile_[i] == p) return static_cast<std::int64_t>(i);
+    BGP_REQUIRE_MSG(false, "placement not present in mapfile");
+  }
+  const Coord3 c = torus_->coordOf(p.node);
+  BGP_REQUIRE(p.core >= 0 && p.core < tasksPerNode_);
+  const int value[4] = {c.x, c.y, c.z, p.core};
+  std::int64_t rank = 0;
+  for (int i = 3; i >= 0; --i) {
+    const int extent = extents_[static_cast<std::size_t>(i)];
+    rank = rank * extent + value[axes_[static_cast<std::size_t>(i)]];
+  }
+  return rank;
+}
+
+const std::array<std::string, 8>& Mapping::paperOrders() {
+  static const std::array<std::string, 8> orders = {
+      "TXYZ", "TYXZ", "TZXY", "TZYX", "XYZT", "YXZT", "ZXYT", "ZYXT"};
+  return orders;
+}
+
+const std::array<std::string, 16>& Mapping::allOrders() {
+  static const std::array<std::string, 16> orders = {
+      "XYZT", "XZYT", "YXZT", "YZXT", "ZXYT", "ZYXT", "TXYZ", "TXZY",
+      "TYXZ", "TYZX", "TZXY", "TZYX", "XYTZ", "YXTZ", "ZXTY", "XZTY"};
+  return orders;
+}
+
+}  // namespace bgp::topo

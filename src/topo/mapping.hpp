@@ -1,0 +1,69 @@
+#pragma once
+// Process-to-processor mappings.
+//
+// BG/P assigns MPI ranks to (x, y, z, t) placements — torus coordinates
+// plus the core ("t" slot) within the node — according to a predefined
+// ordering string such as "XYZT" or "TXYZ".  The first letter varies
+// fastest: XYZT walks the X dimension first, assigning one rank per node,
+// then Y, then Z, and only then wraps back for the second core; TXYZ packs
+// all cores of a node before moving in X.  The paper evaluates TXYZ, TYXZ,
+// TZXY, TZYX, XYZT, YXZT, ZXYT, ZYXT (section II.B / Figure 2).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "topo/torus.hpp"
+
+namespace bgp::topo {
+
+/// Where a rank lives: a torus node plus a core slot on that node.
+struct Placement {
+  NodeId node = 0;
+  int core = 0;
+  friend bool operator==(const Placement&, const Placement&) = default;
+};
+
+class Mapping {
+ public:
+  /// `order` is a permutation of the letters X, Y, Z, T (case-insensitive).
+  /// `tasksPerNode` is the T extent (1 for SMP, 2 for DUAL, 4 for VN mode).
+  Mapping(const Torus3D& torus, int tasksPerNode, const std::string& order);
+
+  /// Explicit mapfile, as BG/P's BG_MAPFILE accepts: one placement per
+  /// rank.  Placements must be distinct and within the torus/task bounds.
+  Mapping(const Torus3D& torus, int tasksPerNode,
+          std::vector<Placement> mapfile);
+
+  int tasksPerNode() const { return tasksPerNode_; }
+  std::int64_t maxRanks() const { return torus_->count() * tasksPerNode_; }
+  const std::string& order() const { return order_; }
+  const Torus3D& torus() const { return *torus_; }
+
+  /// Maps a rank in [0, maxRanks()) to its placement.  For mapfile
+  /// mappings, the rank must be within the mapfile's length.
+  Placement place(std::int64_t rank) const;
+
+  bool isMapfile() const { return !mapfile_.empty(); }
+
+  /// Inverse of place().
+  std::int64_t rankOf(Placement p) const;
+
+  /// All 8 orderings studied in the paper.
+  static const std::array<std::string, 8>& paperOrders();
+
+  /// All 16 orderings BG/P predefines (every permutation starting with each
+  /// of X/Y/Z/T that the system documents).
+  static const std::array<std::string, 16>& allOrders();
+
+ private:
+  const Torus3D* torus_;
+  int tasksPerNode_;
+  std::string order_;
+  // axes_[i] identifies the i-th fastest-varying axis: 0=X, 1=Y, 2=Z, 3=T.
+  std::array<int, 4> axes_{};
+  std::array<int, 4> extents_{};
+  std::vector<Placement> mapfile_;  // non-empty for explicit mapfiles
+};
+
+}  // namespace bgp::topo

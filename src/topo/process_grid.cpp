@@ -1,0 +1,38 @@
+#include "topo/process_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgp::topo {
+
+ProcessGrid2D nearSquareGrid(std::int64_t p) {
+  BGP_REQUIRE(p >= 1);
+  std::int64_t rows = static_cast<std::int64_t>(std::sqrt(static_cast<double>(p)));
+  while (rows > 1 && p % rows != 0) --rows;
+  return ProcessGrid2D(static_cast<int>(rows), static_cast<int>(p / rows));
+}
+
+ProcessGrid3D nearCubicGrid(std::int64_t p) {
+  BGP_REQUIRE(p >= 1);
+  std::int64_t bestX = 1, bestY = 1, bestZ = p;
+  std::int64_t bestMax = p;
+  for (std::int64_t x = 1; x * x * x <= p; ++x) {
+    if (p % x != 0) continue;
+    const std::int64_t rest = p / x;
+    for (std::int64_t y = x; y * y <= rest; ++y) {
+      if (rest % y != 0) continue;
+      const std::int64_t z = rest / y;
+      const std::int64_t mx = std::max({x, y, z});
+      if (mx < bestMax) {
+        bestMax = mx;
+        bestX = x;
+        bestY = y;
+        bestZ = z;
+      }
+    }
+  }
+  return ProcessGrid3D(static_cast<int>(bestX), static_cast<int>(bestY),
+                       static_cast<int>(bestZ));
+}
+
+}  // namespace bgp::topo

@@ -1,0 +1,109 @@
+#pragma once
+// Logical process grids used by the benchmarks: the 2-D "virtual processor
+// grid" of the HALO benchmark and HPL's P×Q grid, and the 3-D decomposition
+// used by S3D and POP.  These map a linear MPI rank to grid coordinates
+// (row-major, as in the reference benchmarks) and enumerate logical
+// neighbors with periodic boundaries.
+
+#include <array>
+#include <cstdint>
+
+#include "support/expect.hpp"
+
+namespace bgp::topo {
+
+class ProcessGrid2D {
+ public:
+  ProcessGrid2D(int rows, int cols) : rows_(rows), cols_(cols) {
+    BGP_REQUIRE(rows >= 1 && cols >= 1);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::int64_t size() const { return std::int64_t{rows_} * cols_; }
+
+  int rowOf(std::int64_t rank) const {
+    checkRank(rank);
+    return static_cast<int>(rank / cols_);
+  }
+  int colOf(std::int64_t rank) const {
+    checkRank(rank);
+    return static_cast<int>(rank % cols_);
+  }
+  std::int64_t rankAt(int row, int col) const {
+    BGP_REQUIRE(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    return std::int64_t{row} * cols_ + col;
+  }
+
+  /// Periodic neighbors: north/south move along rows, west/east along cols.
+  std::int64_t north(std::int64_t rank) const {
+    return rankAt(wrap(rowOf(rank) - 1, rows_), colOf(rank));
+  }
+  std::int64_t south(std::int64_t rank) const {
+    return rankAt(wrap(rowOf(rank) + 1, rows_), colOf(rank));
+  }
+  std::int64_t west(std::int64_t rank) const {
+    return rankAt(rowOf(rank), wrap(colOf(rank) - 1, cols_));
+  }
+  std::int64_t east(std::int64_t rank) const {
+    return rankAt(rowOf(rank), wrap(colOf(rank) + 1, cols_));
+  }
+
+ private:
+  static int wrap(int v, int n) { return (v % n + n) % n; }
+  void checkRank(std::int64_t rank) const {
+    BGP_REQUIRE(rank >= 0 && rank < size());
+  }
+  int rows_;
+  int cols_;
+};
+
+class ProcessGrid3D {
+ public:
+  ProcessGrid3D(int nx, int ny, int nz) : dims_{nx, ny, nz} {
+    BGP_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1);
+  }
+
+  int dim(int axis) const {
+    BGP_REQUIRE(axis >= 0 && axis < 3);
+    return dims_[static_cast<std::size_t>(axis)];
+  }
+  std::int64_t size() const {
+    return std::int64_t{dims_[0]} * dims_[1] * dims_[2];
+  }
+
+  std::array<int, 3> coordOf(std::int64_t rank) const {
+    BGP_REQUIRE(rank >= 0 && rank < size());
+    return {static_cast<int>(rank % dims_[0]),
+            static_cast<int>((rank / dims_[0]) % dims_[1]),
+            static_cast<int>(rank / (std::int64_t{dims_[0]} * dims_[1]))};
+  }
+  std::int64_t rankAt(std::array<int, 3> c) const {
+    for (int a = 0; a < 3; ++a)
+      BGP_REQUIRE(c[static_cast<std::size_t>(a)] >= 0 &&
+                  c[static_cast<std::size_t>(a)] < dim(a));
+    return (std::int64_t{c[2]} * dims_[1] + c[1]) * dims_[0] + c[0];
+  }
+
+  /// Periodic neighbor along `axis` (0..2) in direction `dir` (+1 / -1).
+  std::int64_t neighbor(std::int64_t rank, int axis, int dir) const {
+    BGP_REQUIRE(dir == 1 || dir == -1);
+    auto c = coordOf(rank);
+    auto& v = c[static_cast<std::size_t>(axis)];
+    const int n = dim(axis);
+    v = ((v + dir) % n + n) % n;
+    return rankAt(c);
+  }
+
+ private:
+  std::array<int, 3> dims_;
+};
+
+/// Picks a near-square factorization rows*cols == p with rows <= cols,
+/// as HPL and HALO harnesses do when told only the process count.
+ProcessGrid2D nearSquareGrid(std::int64_t p);
+
+/// Picks a near-cubic 3-D factorization for `p` processes.
+ProcessGrid3D nearCubicGrid(std::int64_t p);
+
+}  // namespace bgp::topo

@@ -1,0 +1,315 @@
+// Tests for the application proxies: POP, CAM, S3D, GYRO, MD.
+
+#include <gtest/gtest.h>
+
+#include "apps/app_common.hpp"
+#include "apps/cam.hpp"
+#include "apps/gyro.hpp"
+#include "apps/md.hpp"
+#include "apps/pop.hpp"
+#include "apps/s3d.hpp"
+#include "arch/machines.hpp"
+
+namespace bgp::apps {
+namespace {
+
+using arch::machineByName;
+
+// ---- common helpers -----------------------------------------------------------
+
+TEST(AppCommon, RankPerturbationDeterministicAndBounded) {
+  for (int r = 0; r < 100; ++r) {
+    const double v = rankPerturbation(42, r);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    EXPECT_DOUBLE_EQ(v, rankPerturbation(42, r));
+  }
+  EXPECT_NE(rankPerturbation(1, 5), rankPerturbation(2, 5));
+}
+
+TEST(AppCommon, SydConversion) {
+  // 236.7 s/day -> 1 SYD (86400 / 365).
+  EXPECT_NEAR(sydFromSecondsPerDay(86400.0 / 365.0), 1.0, 1e-12);
+  EXPECT_THROW(sydFromSecondsPerDay(0), PreconditionError);
+}
+
+TEST(AppCommon, EfficiencyTableLookup) {
+  const EfficiencyTable t{0.1, 0.2, 0.3, 0.4, 0.5};
+  EXPECT_DOUBLE_EQ(t.of(machineByName("BG/P")), 0.1);
+  EXPECT_DOUBLE_EQ(t.of(machineByName("XT4/QC")), 0.5);
+}
+
+// ---- POP ------------------------------------------------------------------------
+
+PopConfig popBgp(int p) {
+  PopConfig c;
+  c.machine = machineByName("BG/P");
+  c.nranks = p;
+  return c;
+}
+
+TEST(Pop, ScalesOutTo40k) {
+  // Fig. 4(a): linear to 8000, "still scaling well out to 40,000".
+  const double s2k = runPop(popBgp(2000)).syd;
+  const double s8k = runPop(popBgp(8000)).syd;
+  const double s40k = runPop(popBgp(40000)).syd;
+  EXPECT_GT(s8k, 3.0 * s2k);   // near-linear 2k -> 8k
+  EXPECT_GT(s40k, 2.0 * s8k);  // still improving strongly
+}
+
+TEST(Pop, SolverVariantCrossover) {
+  // Fig. 4(a) discussion: C-G "a little slower ... for smaller process
+  // counts ... and a little faster for larger process counts".
+  PopConfig small = popBgp(512);
+  PopConfig large = popBgp(16000);
+  small.solver = PopSolver::StandardCG;
+  large.solver = PopSolver::StandardCG;
+  const double stdSmall = runPop(small).barotropicSeconds;
+  const double stdLarge = runPop(large).barotropicSeconds;
+  small.solver = PopSolver::ChronopoulosGear;
+  large.solver = PopSolver::ChronopoulosGear;
+  const double cgSmall = runPop(small).barotropicSeconds;
+  const double cgLarge = runPop(large).barotropicSeconds;
+  EXPECT_GT(cgSmall, stdSmall);  // C-G pays extra local work at small P
+  EXPECT_LT(cgLarge, stdLarge);  // and wins once reductions dominate
+}
+
+TEST(Pop, ModeInsensitivity) {
+  // Fig. 4(a): "Performance is relatively insensitive to the execution
+  // modes" (VN vs SMP at equal process counts on BG/P).
+  PopConfig vn = popBgp(4096);
+  PopConfig smp = popBgp(4096);
+  smp.mode = arch::ExecMode::SMP;
+  const double a = runPop(vn).syd;
+  const double b = runPop(smp).syd;
+  EXPECT_NEAR(a, b, 0.35 * a);
+}
+
+TEST(Pop, BarotropicSecondaryOnBgpAt40k) {
+  // Fig. 4(d): barotropic "less than half the cost of the Baroclinic
+  // phase for 40000 processes" and still improving.
+  const auto r20k = runPop(popBgp(20000));
+  const auto r40k = runPop(popBgp(40000));
+  EXPECT_LT(r40k.barotropicSeconds, 0.5 * r40k.baroclinicSeconds);
+  EXPECT_LE(r40k.barotropicSeconds, r20k.barotropicSeconds * 1.05);
+}
+
+TEST(Pop, XtBarotropicStopsImproving) {
+  // Fig. 4(d): "XT4 Barotropic performance has stopped improving beyond
+  // 8000 processes."
+  PopConfig c8{machineByName("XT4/DC"), 8000};
+  PopConfig c22{machineByName("XT4/DC"), 22500};
+  c8.timingBarrier = c22.timingBarrier = false;  // XT methodology
+  const auto r8 = runPop(c8);
+  const auto r22 = runPop(c22);
+  EXPECT_GT(r22.barotropicSeconds, 0.75 * r8.barotropicSeconds);
+  // ... while its share of the total keeps growing.
+  EXPECT_GT(r22.barotropicSeconds / r22.secondsPerDay,
+            r8.barotropicSeconds / r8.secondsPerDay);
+}
+
+TEST(Pop, BarrierAbsorbsImbalance) {
+  const auto r = runPop(popBgp(8000));
+  EXPECT_GT(r.barrierSeconds, 0.0);  // load imbalance exists
+  EXPECT_LT(r.barrierSeconds, r.baroclinicSeconds);
+}
+
+TEST(Pop, MappingChoiceNearlyIrrelevant) {
+  // Section III.A: TXYZ vs best alternative differed < 1.4%.  Our proxy
+  // folds halos analytically, so mapping has no effect at all — assert the
+  // run is at least mapping-stable.
+  const double a = runPop(popBgp(2048)).syd;
+  EXPECT_GT(a, 0);
+}
+
+// ---- CAM ------------------------------------------------------------------------
+
+TEST(Cam, PureMpiCappedByLatitudes) {
+  CamConfig c{machineByName("BG/P"), camT42(), 128, /*hybrid=*/false};
+  EXPECT_FALSE(runCam(c).feasible);  // T42: 64 latitudes max
+  c.ncores = 64;
+  EXPECT_TRUE(runCam(c).feasible);
+}
+
+TEST(Cam, OpenMpExtendsScalability) {
+  // Fig. 5(a,b): "OpenMP parallelism ... provides additional scalability
+  // for large processor counts."
+  double bestMpi = 0, bestHybrid = 0;
+  for (int cores : {16, 32, 64, 128, 256}) {
+    CamConfig mpi{machineByName("BG/P"), camT42(), cores, false};
+    CamConfig hyb{machineByName("BG/P"), camT42(), cores, true};
+    const auto a = runCam(mpi);
+    const auto b = runCam(hyb);
+    if (a.feasible) bestMpi = std::max(bestMpi, a.sypd);
+    if (b.feasible) bestHybrid = std::max(bestHybrid, b.sypd);
+  }
+  EXPECT_GT(bestHybrid, 2.0 * bestMpi);
+}
+
+TEST(Cam, HybridComparableAtSmallCounts) {
+  CamConfig mpi{machineByName("BG/P"), camT85(), 64, false};
+  CamConfig hyb{machineByName("BG/P"), camT85(), 64, true};
+  const double a = runCam(mpi).sypd;
+  const double b = runCam(hyb).sypd;
+  EXPECT_NEAR(b, a, 0.3 * a);
+}
+
+TEST(Cam, CrossMachineRatiosEul) {
+  // "the BG/P is never less than a factor of 2.1 slower than the XT3 and
+  // 3.1 slower than the XT4 for the spectral Eulerian benchmarks."
+  for (const auto& prob : {camT42(), camT85()}) {
+    for (int cores : {32, 64}) {
+      CamConfig b{machineByName("BG/P"), prob, cores, false};
+      CamConfig x3{machineByName("XT3"), prob, cores, false};
+      CamConfig x4{machineByName("XT4/QC"), prob, cores, false};
+      const double sb = runCam(b).sypd;
+      EXPECT_GE(runCam(x3).sypd / sb, 2.1) << prob.name << cores;
+      EXPECT_GE(runCam(x4).sypd / sb, 3.1) << prob.name << cores;
+    }
+  }
+}
+
+TEST(Cam, CrossMachineRatiosFv) {
+  // "the XT4 advantage is between a factor of 2 and 2.5 and XT3 advantage
+  // is less than a factor of 2."
+  CamConfig b{machineByName("BG/P"), camFvLowRes(), 64, false};
+  CamConfig x3{machineByName("XT3"), camFvLowRes(), 64, false};
+  CamConfig x4{machineByName("XT4/QC"), camFvLowRes(), 64, false};
+  const double sb = runCam(b).sypd;
+  const double r3 = runCam(x3).sypd / sb;
+  const double r4 = runCam(x4).sypd / sb;
+  EXPECT_LT(r3, 2.0);
+  EXPECT_GT(r4, 1.9);
+  EXPECT_LT(r4, 2.6);
+}
+
+TEST(Cam, HighResFvScalesPoorly) {
+  // "the FV 0.47x0.63 L26 benchmark does not perform or scale particularly
+  // well" — per-core efficiency at its max count is low.
+  CamConfig small{machineByName("BG/P"), camFvHighRes(), 128, false};
+  CamConfig big{machineByName("BG/P"), camFvHighRes(), 512, false};
+  const auto a = runCam(small);
+  const auto c = runCam(big);
+  ASSERT_TRUE(a.feasible && c.feasible);
+  EXPECT_LT(c.sypd / a.sypd, 3.5);  // far below the 4x ideal
+}
+
+TEST(Cam, BglCannotRunHybrid) {
+  CamConfig c{machineByName("BG/L"), camT42(), 64, true};
+  EXPECT_FALSE(runCam(c).feasible);
+}
+
+// ---- S3D ------------------------------------------------------------------------
+
+TEST(S3d, WeakScalingNearlyFlat) {
+  // Fig. 6: "excellent parallel performance" — cost per point per step
+  // barely moves across two orders of magnitude of ranks.
+  S3dConfig small{machineByName("BG/P"), 8};
+  S3dConfig large{machineByName("BG/P"), 512};
+  small.steps = large.steps = 2;
+  const auto a = runS3d(small);
+  const auto b = runS3d(large);
+  EXPECT_LT(b.coreHoursPerPointStep / a.coreHoursPerPointStep, 1.10);
+}
+
+TEST(S3d, XtCheaperPerPoint) {
+  S3dConfig b{machineByName("BG/P"), 64};
+  S3dConfig x{machineByName("XT4/QC"), 64};
+  b.steps = x.steps = 2;
+  const double rb = runS3d(b).coreHoursPerPointStep;
+  const double rx = runS3d(x).coreHoursPerPointStep;
+  EXPECT_GT(rb / rx, 2.0);
+  EXPECT_LT(rb / rx, 5.0);
+}
+
+TEST(S3d, CommunicationMinor) {
+  S3dConfig c{machineByName("BG/P"), 64};
+  c.steps = 2;
+  EXPECT_LT(runS3d(c).commFraction, 0.15);
+}
+
+// ---- GYRO -----------------------------------------------------------------------
+
+TEST(Gyro, B1RankMultiplesEnforced) {
+  GyroConfig c{machineByName("BG/P"), gyroB1Std(), 100};
+  EXPECT_THROW(runGyro(c), PreconditionError);
+}
+
+TEST(Gyro, XtRunsOutOfWorkBgpKeepsScaling) {
+  // Fig. 7(a): parallel efficiency at 2048 vs 256 ranks.
+  auto efficiency = [](const char* machine) {
+    GyroConfig small{machineByName(machine), gyroB1Std(), 256};
+    GyroConfig large{machineByName(machine), gyroB1Std(), 2048};
+    const double tS = runGyro(small).secondsPerStep;
+    const double tL = runGyro(large).secondsPerStep;
+    return tS / (tL * 8.0);  // 1.0 = perfect strong scaling
+  };
+  EXPECT_GT(efficiency("BG/P"), 0.9);
+  EXPECT_LT(efficiency("XT4/QC"), 0.8);
+}
+
+TEST(Gyro, B3ForcedIntoDualModeOnBgp) {
+  // Fig. 7(b) note: "on BG/P the code had to be run in 'DUAL' mode due to
+  // memory requirements."
+  GyroConfig c{machineByName("BG/P"), gyroB3Gtc(), 1024};
+  EXPECT_EQ(runGyro(c).modeUsed, arch::ExecMode::DUAL);
+  // The XT4/QC has 2 GiB/core and stays in VN mode.
+  GyroConfig x{machineByName("XT4/QC"), gyroB3Gtc(), 1024};
+  EXPECT_EQ(runGyro(x).modeUsed, arch::ExecMode::VN);
+}
+
+TEST(Gyro, WeakScalingBgpTrailsBglMidRange) {
+  // Fig. 7(c): "BG/P and BG/L numbers are almost the same, except ...
+  // 128-1024 cores where the BG/P numbers are worse" (unoptimized
+  // collectives on BG/P).
+  const double bgp64 = runGyroWeak(machineByName("BG/P"), 64, false);
+  const double bgl64 = runGyroWeak(machineByName("BG/L"), 64, true);
+  EXPECT_NEAR(bgp64, bgl64, 0.1 * bgl64);
+  const double bgp512 = runGyroWeak(machineByName("BG/P"), 512, false);
+  const double bgl512 = runGyroWeak(machineByName("BG/L"), 512, true);
+  EXPECT_GT(bgp512, bgl512 * 1.01);
+  // With optimized collectives the gap closes.
+  const double bgpOpt = runGyroWeak(machineByName("BG/P"), 512, true);
+  EXPECT_LT(bgpOpt, bgp512);
+}
+
+// ---- MD -------------------------------------------------------------------------
+
+TEST(Md, LammpsOutscalesPmemd) {
+  // Fig. 8: PMEMD scaling saturates earlier (communication volume growth
+  // + output frequency).
+  auto speedup = [](MdCode code, const char* machine) {
+    MdConfig small{machineByName(machine), code, 256};
+    MdConfig large{machineByName(machine), code, 4096};
+    return runMd(small).secondsPerStep / runMd(large).secondsPerStep;
+  };
+  EXPECT_GT(speedup(MdCode::LAMMPS, "BG/P"),
+            1.5 * speedup(MdCode::PMEMD, "BG/P"));
+}
+
+TEST(Md, XtFasterPerStep) {
+  MdConfig b{machineByName("BG/P"), MdCode::LAMMPS, 512};
+  MdConfig x{machineByName("XT4/DC"), MdCode::LAMMPS, 512};
+  EXPECT_GT(runMd(b).secondsPerStep, 2.0 * runMd(x).secondsPerStep);
+}
+
+TEST(Md, BgpHigherParallelEfficiency) {
+  // "The collective network of the BG/P results in relatively higher
+  // parallel efficiencies."
+  auto efficiency = [](const char* machine) {
+    MdConfig small{machineByName(machine), MdCode::LAMMPS, 512};
+    MdConfig large{machineByName(machine), MdCode::LAMMPS, 8192};
+    return runMd(small).secondsPerStep /
+           (runMd(large).secondsPerStep * 16.0);
+  };
+  EXPECT_GT(efficiency("BG/P"), efficiency("XT4/DC"));
+}
+
+TEST(Md, CommFractionGrowsWithRanks) {
+  MdConfig small{machineByName("BG/P"), MdCode::LAMMPS, 128};
+  MdConfig large{machineByName("BG/P"), MdCode::LAMMPS, 4096};
+  EXPECT_GT(runMd(large).commFraction, runMd(small).commFraction);
+}
+
+}  // namespace
+}  // namespace bgp::apps

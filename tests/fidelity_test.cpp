@@ -1,0 +1,233 @@
+// Fidelity cross-checks: the event-level HPL and barotropic programs
+// versus their analytic counterparts, and the trace module.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "apps/barotropic_sim.hpp"
+#include "arch/machines.hpp"
+#include "hpcc/hpl_model.hpp"
+#include "hpcc/hpcc_sim.hpp"
+#include "hpcc/hpl_sim.hpp"
+#include "hpcc/parallel_models.hpp"
+#include "smpi/simulation.hpp"
+#include "smpi/trace.hpp"
+
+namespace bgp {
+namespace {
+
+using arch::machineByName;
+
+// ---- event-level HPL vs analytic model ------------------------------------------
+
+TEST(HplSim, CompletesAndIsEfficient) {
+  hpcc::HplSimConfig cfg{machineByName("BG/P"), 9600, 96, 8, 16};
+  const auto r = hpcc::runHplSimulation(cfg);
+  EXPECT_GT(r.gflops, 0);
+  // Bulk-synchronous HPL on a small N is less efficient than tuned HPL
+  // but must still be compute-dominated.
+  EXPECT_GT(r.efficiency, 0.35);
+  EXPECT_LT(r.efficiency, 0.92);
+}
+
+TEST(HplSim, TracksAnalyticModelWithinFactor) {
+  for (const char* machine : {"BG/P", "XT4/QC"}) {
+    hpcc::HplSimConfig cfg{machineByName(machine), 12288, 96, 8, 16};
+    const auto sim = hpcc::runHplSimulation(cfg);
+    const net::System sys(machineByName(machine), 128);
+    const auto model =
+        hpcc::runHplModel(sys, hpcc::HplConfig{12288, 96, 8, 16});
+    // The model includes look-ahead; the event-level run is bulk-
+    // synchronous, so the model should be equal or faster, within ~2.5x.
+    EXPECT_LE(model.seconds, sim.seconds * 1.05) << machine;
+    EXPECT_GT(model.seconds, sim.seconds / 2.5) << machine;
+  }
+}
+
+TEST(HplSim, ScalesWithGrid) {
+  hpcc::HplSimConfig small{machineByName("BG/P"), 7680, 96, 4, 8};
+  hpcc::HplSimConfig large{machineByName("BG/P"), 7680, 96, 8, 16};
+  const auto rSmall = hpcc::runHplSimulation(small);
+  const auto rLarge = hpcc::runHplSimulation(large);
+  // 4x the ranks on the same N: at least 2x the flop rate.
+  EXPECT_GT(rLarge.gflops, 2.0 * rSmall.gflops);
+}
+
+TEST(HplSim, RejectsBadConfig) {
+  hpcc::HplSimConfig cfg{machineByName("BG/P"), 0, 96, 4, 4};
+  EXPECT_THROW(hpcc::runHplSimulation(cfg), PreconditionError);
+}
+
+// ---- event-level PTRANS / FFT / RandomAccess ---------------------------------------
+
+TEST(HpccSim, PtransTracksModelShape) {
+  // Event-level and analytic PTRANS must agree on the BG/P-vs-XT ratio
+  // within a factor of ~2 (the paper's "similar absolute performance").
+  const std::int64_t n = 16384;
+  const auto bgp = hpcc::runPtransSimulation(machineByName("BG/P"), n, 8, 8);
+  const auto xt =
+      hpcc::runPtransSimulation(machineByName("XT4/QC"), n, 8, 8);
+  EXPECT_GT(bgp.gbPerSec, 0);
+  EXPECT_GT(xt.gbPerSec / bgp.gbPerSec, 0.5);
+  EXPECT_LT(xt.gbPerSec / bgp.gbPerSec, 8.0);
+}
+
+TEST(HpccSim, FftTransposeBound) {
+  // Larger rank counts shrink the local work but the transposes remain:
+  // the event-level FFT's efficiency decays exactly like the model's.
+  const std::int64_t n = 1 << 22;
+  const auto r64 = hpcc::runFftSimulation(machineByName("BG/P"), n, 64);
+  const auto r256 = hpcc::runFftSimulation(machineByName("BG/P"), n, 256);
+  EXPECT_GT(r256.gflops, r64.gflops);           // still faster...
+  EXPECT_LT(r256.gflops, 3.9 * r64.gflops);     // ...but below ideal 4x
+}
+
+TEST(HpccSim, RaRequiresPow2AndCompletes) {
+  EXPECT_THROW(
+      hpcc::runRaSimulation(machineByName("BG/P"), 1 << 20, 48),
+      PreconditionError);
+  const auto r = hpcc::runRaSimulation(machineByName("BG/P"), 1 << 22, 64);
+  EXPECT_GT(r.gups, 0);
+}
+
+TEST(HpccSim, RaGapOnCompactPartitionsSupportsFragmentationStory) {
+  // The event-level RA runs on a COMPACT partition (our simulated torus is
+  // contiguous), where the XT's fatter links win outright — a 2-6x gap.
+  // The paper measured near-parity on the real machines; the analytic
+  // model reproduces that only via the allocation-fragmentation penalty
+  // (arch::MachineConfig::allocationEfficiency).  The gap here is the
+  // counterfactual that supports the paper's own explanation.
+  const auto bgp = hpcc::runRaSimulation(machineByName("BG/P"), 1 << 22, 64);
+  const auto xt =
+      hpcc::runRaSimulation(machineByName("XT4/QC"), 1 << 22, 64);
+  EXPECT_GT(xt.gups / bgp.gups, 2.0);
+  EXPECT_LT(xt.gups / bgp.gups, 6.0);
+  // The analytic model — with fragmentation — lands near parity instead.
+  const net::System bgpSys(machineByName("BG/P"), 64);
+  const net::System xtSys(machineByName("XT4/QC"), 64);
+  const double modelRatio = hpcc::runRaModel(xtSys, 0.5).gups /
+                            hpcc::runRaModel(bgpSys, 0.5).gups;
+  EXPECT_LT(modelRatio, 2.0);
+}
+
+// ---- event-level barotropic vs POP's in-gate charging ------------------------------
+
+TEST(BarotropicSim, SolverVariantTradeoffHoldsEventLevel) {
+  // C-G: fewer reductions, more local work.  At scale the reduction
+  // saving must win — in the event-level program too, not just the model.
+  apps::BarotropicSimConfig cg{machineByName("XT4/QC"), 1024,
+                               apps::PopSolver::ChronopoulosGear, 30};
+  apps::BarotropicSimConfig std2{machineByName("XT4/QC"), 1024,
+                                 apps::PopSolver::StandardCG, 30};
+  const auto rCg = apps::runBarotropicSim(cg);
+  const auto rStd = apps::runBarotropicSim(std2);
+  EXPECT_LT(rCg.secondsPerIteration, rStd.secondsPerIteration);
+}
+
+TEST(BarotropicSim, LatencyBoundAtScale) {
+  // Per-iteration cost stops improving once the local block is tiny: the
+  // reductions and halo latency floor it.
+  apps::BarotropicSimConfig at256{machineByName("BG/P"), 256,
+                                  apps::PopSolver::ChronopoulosGear, 20};
+  apps::BarotropicSimConfig at4096{machineByName("BG/P"), 4096,
+                                   apps::PopSolver::ChronopoulosGear, 20};
+  const auto r256 = apps::runBarotropicSim(at256);
+  const auto r4096 = apps::runBarotropicSim(at4096);
+  const double speedup =
+      r256.secondsPerIteration / r4096.secondsPerIteration;
+  EXPECT_LT(speedup, 12.0);  // far below the ideal 16x
+  EXPECT_GT(speedup, 1.0);
+  // And collective waiting is a visible share at scale.
+  EXPECT_GT(r4096.collWaitFraction, r256.collWaitFraction);
+}
+
+TEST(BarotropicSim, ValidatesPopInGateCharging) {
+  // POP charges iterations x analytic per-iteration cost inside one gate.
+  // The event-level per-iteration cost must agree within a factor of ~2
+  // (the gate approximation loses pipelining but skips skew repayment).
+  const int nranks = 1024;
+  apps::BarotropicSimConfig cfg{machineByName("BG/P"), nranks,
+                                apps::PopSolver::ChronopoulosGear, 30};
+  const auto sim = apps::runBarotropicSim(cfg);
+
+  const net::System sys(machineByName("BG/P"), nranks);
+  const double points = static_cast<double>(apps::kPopNx) * apps::kPopNy;
+  const arch::Work local{points / nranks * 15.0 * 1.2,
+                         points / nranks * 8.0 * 4.0 * 1.2, 0.25};
+  const double analytic =
+      sys.computeTime(local) +
+      2.0 * sys.torusNetwork().latencyEstimate(
+                0, 1, std::sqrt(points / nranks) * 8.0) +
+      sys.collectiveCost(net::CollKind::Allreduce, 16);
+  EXPECT_LT(sim.secondsPerIteration / analytic, 2.0);
+  EXPECT_GT(sim.secondsPerIteration / analytic, 0.5);
+}
+
+// ---- trace module ---------------------------------------------------------------
+
+TEST(Trace, RecordsSpansViaRaii) {
+  smpi::Simulation sim(machineByName("BG/P"), 2);
+  smpi::Tracer tracer(sim.engine());
+  sim.run([&](smpi::Rank& self) -> sim::Task {
+    {
+      smpi::TraceSpan span(tracer, self, "compute-phase");
+      co_await self.compute(0.5);
+    }
+    tracer.instant(self.id(), "phase-done");
+  });
+  ASSERT_EQ(tracer.eventCount(), 4u);  // 2 spans + 2 instants
+  const auto& events = tracer.events();
+  int spans = 0, instants = 0;
+  for (const auto& e : events) {
+    if (e.end > e.begin) {
+      ++spans;
+      EXPECT_DOUBLE_EQ(e.end - e.begin, 0.5);
+      EXPECT_EQ(e.name, "compute-phase");
+    } else {
+      ++instants;
+    }
+  }
+  EXPECT_EQ(spans, 2);
+  EXPECT_EQ(instants, 2);
+}
+
+TEST(Trace, ChromeJsonIsWellFormedish) {
+  smpi::Simulation sim(machineByName("BG/P"), 2);
+  smpi::Tracer tracer(sim.engine());
+  sim.run([&](smpi::Rank& self) -> sim::Task {
+    smpi::TraceSpan span(tracer, self, "a \"quoted\" name");
+    co_await self.compute(0.1);
+  });
+  std::ostringstream os;
+  tracer.writeChromeJson(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Trace, TextDumpListsEvents) {
+  smpi::Simulation sim(machineByName("BG/P"), 1);
+  smpi::Tracer tracer(sim.engine());
+  sim.run([&](smpi::Rank& self) -> sim::Task {
+    smpi::TraceSpan span(tracer, self, "solver");
+    co_await self.compute(1.0);
+  });
+  std::ostringstream os;
+  tracer.writeText(os);
+  EXPECT_NE(os.str().find("solver"), std::string::npos);
+  EXPECT_NE(os.str().find("rank 0"), std::string::npos);
+}
+
+TEST(Trace, RejectsBackwardsInterval) {
+  smpi::Simulation sim(machineByName("BG/P"), 1);
+  smpi::Tracer tracer(sim.engine());
+  EXPECT_THROW(tracer.record(0, "bad", 2.0, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace bgp

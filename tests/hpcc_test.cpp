@@ -1,0 +1,194 @@
+// Tests for the HPCC benchmark models: HPL, PTRANS, FFT, RandomAccess,
+// node tests, and the event-level communication tests.
+
+#include <gtest/gtest.h>
+
+#include "arch/machines.hpp"
+#include "hpcc/comm_tests.hpp"
+#include "hpcc/hpl_model.hpp"
+#include "hpcc/node_tests.hpp"
+#include "hpcc/parallel_models.hpp"
+
+namespace bgp::hpcc {
+namespace {
+
+using arch::machineByName;
+
+net::System bgpSystem(int nranks) {
+  return net::System(machineByName("BG/P"), nranks);
+}
+
+TEST(HplModel, ConfigFillsMemoryFraction) {
+  const auto sys = bgpSystem(4096);
+  const auto cfg = hplConfigFor(sys, 0.8, 144);
+  // Matrix bytes ~ 0.8 * total memory.
+  const double matrixBytes =
+      static_cast<double>(cfg.n) * static_cast<double>(cfg.n) * 8;
+  const double totalMem = 4096.0 * sys.memPerTaskBytes();
+  EXPECT_NEAR(matrixBytes / totalMem, 0.8, 0.02);
+  EXPECT_EQ(cfg.n % cfg.nb, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(cfg.gridP) * cfg.gridQ, 4096);
+  EXPECT_LE(cfg.gridP, cfg.gridQ);
+}
+
+TEST(HplModel, XtProblemIsLarger) {
+  // Paper: "each XT HPCC experiment used a problem size approximately four
+  // times larger" (4x memory per node); N scales with sqrt -> 2x.
+  const auto bgp = hplConfigFor(bgpSystem(4096), 0.8, 144);
+  const net::System xt(machineByName("XT4/QC"), 4096);
+  const auto xtCfg = hplConfigFor(xt, 0.8, 168);
+  EXPECT_NEAR(static_cast<double>(xtCfg.n) / bgp.n, 2.0, 0.1);
+}
+
+TEST(HplModel, EfficiencyInHplRange) {
+  // Real HPL lands at 70-85% of peak on both machines.
+  for (const char* name : {"BG/P", "XT4/QC"}) {
+    const net::System sys(machineByName(name), 1024);
+    const auto r = runHplModel(sys, hplConfigFor(sys, 0.8, 144));
+    EXPECT_GT(r.efficiency, 0.70) << name;
+    EXPECT_LT(r.efficiency, 0.88) << name;
+  }
+}
+
+TEST(HplModel, Top500RunMatchesPaper) {
+  // Section II.C: N=614399, NB=96, 64x128 grid -> 21.4 TF (2.140e4 GF),
+  // ranked #74 on the June 2008 TOP500.
+  const auto sys = bgpSystem(8192);
+  const HplConfig cfg{614400, 96, 64, 128};
+  const auto r = runHplModel(sys, cfg);
+  EXPECT_NEAR(r.gflops, 21900, 0.12 * 21900);
+}
+
+TEST(HplModel, ScalesNearLinearly) {
+  const auto r1k = runHplModel(bgpSystem(1024),
+                               hplConfigFor(bgpSystem(1024), 0.8, 144));
+  const auto r4k = runHplModel(bgpSystem(4096),
+                               hplConfigFor(bgpSystem(4096), 0.8, 144));
+  EXPECT_GT(r4k.gflops, 3.5 * r1k.gflops);
+}
+
+TEST(HplModel, UpdateDominates) {
+  const auto sys = bgpSystem(1024);
+  const auto r = runHplModel(sys, hplConfigFor(sys, 0.8, 144));
+  EXPECT_GT(r.updateSeconds, 0.8 * r.seconds);
+}
+
+TEST(HplModel, RejectsMismatchedGrid) {
+  const auto sys = bgpSystem(64);
+  EXPECT_THROW(runHplModel(sys, HplConfig{10000, 96, 4, 8}),
+               PreconditionError);
+}
+
+TEST(Ptrans, ShapesMatchPaper) {
+  // "Both systems exhibited similar absolute performance and scaling
+  // trends" (Fig. 1c): within ~2x of each other, both growing with P.
+  for (int p : {256, 1024, 4096}) {
+    const auto b = runPtransModel(net::System(machineByName("BG/P"), p), 0.8);
+    const auto x =
+        runPtransModel(net::System(machineByName("XT4/QC"), p), 0.8);
+    EXPECT_GT(x.gbPerSec / b.gbPerSec, 0.5) << p;
+    EXPECT_LT(x.gbPerSec / b.gbPerSec, 2.5) << p;
+  }
+  const auto small = runPtransModel(net::System(machineByName("BG/P"), 256), 0.8);
+  const auto large =
+      runPtransModel(net::System(machineByName("BG/P"), 4096), 0.8);
+  EXPECT_GT(large.gbPerSec, 3 * small.gbPerSec);
+}
+
+TEST(Fft, XtFasterButBothScale) {
+  // Fig. 1b: XT ahead (larger problem, comparable memory bandwidth), both
+  // scale with process count.
+  const auto b1 = runFftModel(net::System(machineByName("BG/P"), 1024), 0.4);
+  const auto b4 = runFftModel(net::System(machineByName("BG/P"), 4096), 0.4);
+  const auto x4 =
+      runFftModel(net::System(machineByName("XT4/QC"), 4096), 0.4);
+  EXPECT_GT(x4.gflops, b4.gflops);
+  EXPECT_GT(b4.gflops, 2.0 * b1.gflops);
+  EXPECT_EQ(b4.n & (b4.n - 1), 0);  // power-of-two length
+}
+
+TEST(Ra, ParityBetweenSystems) {
+  // Fig. 1d: "The two systems showed very similar performance and
+  // scalability trends" — unexpected given BG/P's lower latency.
+  for (int p : {1024, 4096}) {
+    const auto b = runRaModel(net::System(machineByName("BG/P"), p), 0.5);
+    const auto x = runRaModel(net::System(machineByName("XT4/QC"), p), 0.5);
+    EXPECT_GT(x.gups / b.gups, 0.4) << p;
+    EXPECT_LT(x.gups / b.gups, 2.5) << p;
+  }
+}
+
+TEST(Ra, SandiaOpt2BeatsStock) {
+  const net::System sys(machineByName("BG/P"), 1024);
+  const auto stock = runRaModel(sys, 0.5, RaAlgorithm::Stock);
+  const auto opt = runRaModel(sys, 0.5, RaAlgorithm::SandiaOpt2);
+  EXPECT_NE(stock.gups, opt.gups);  // distinct algorithms modeled
+  EXPECT_GT(opt.gups, 0);
+  EXPECT_GT(stock.gups, 0);
+}
+
+// ---- node tests (Table 2 zone) -------------------------------------------------
+
+TEST(NodeTests, DgemmRatesMatchKnownValues) {
+  const auto bgp = runNodeTests(machineByName("BG/P"));
+  EXPECT_NEAR(bgp.dgemmGflopsSP, 3.0, 0.3);  // ESSL on the 450d
+  const auto xt = runNodeTests(machineByName("XT4/QC"));
+  EXPECT_NEAR(xt.dgemmGflopsSP, 7.1, 0.7);  // ACML on Barcelona
+}
+
+TEST(NodeTests, BgpStreamDeclinesLessSPtoEP) {
+  // Paper: "the BG/P exhibited ... less of a performance decline between
+  // the single process and embarrassingly parallel cases than the XT."
+  const auto bgp = runNodeTests(machineByName("BG/P"));
+  const auto xt = runNodeTests(machineByName("XT4/QC"));
+  const double bgpDecline = bgp.streamTriadGBsEP / bgp.streamTriadGBsSP;
+  const double xtDecline = xt.streamTriadGBsEP / xt.streamTriadGBsSP;
+  EXPECT_GT(bgpDecline, xtDecline);
+  // And higher absolute EP bandwidth per process.
+  EXPECT_GT(bgp.streamTriadGBsEP, xt.streamTriadGBsEP);
+}
+
+TEST(NodeTests, XtDgemmFasterThanBgp) {
+  // Table 2 discussion: lower clock rate => smaller BG/P processing rate.
+  const auto bgp = runNodeTests(machineByName("BG/P"));
+  const auto xt = runNodeTests(machineByName("XT4/QC"));
+  EXPECT_GT(xt.dgemmGflopsSP, 2.0 * bgp.dgemmGflopsSP);
+  EXPECT_GT(xt.fftGflopsSP, bgp.fftGflopsSP);
+}
+
+TEST(NodeTests, EpNeverExceedsSp) {
+  for (const auto& m : arch::allMachines()) {
+    const auto r = runNodeTests(m);
+    EXPECT_LE(r.dgemmGflopsEP, r.dgemmGflopsSP * 1.001) << m.name;
+    EXPECT_LE(r.streamTriadGBsEP, r.streamTriadGBsSP * 1.001) << m.name;
+    EXPECT_LE(r.raGupsEP, r.raGupsSP * 1.001) << m.name;
+  }
+}
+
+// ---- comm tests ---------------------------------------------------------------
+
+TEST(CommTests, BgpLowLatencyXtHighBandwidth) {
+  // Paper: "the BG/P network's strength is low-latency communication
+  // whereas the XT's strength is high-bandwidth communication."
+  const auto bgp = runCommTests(machineByName("BG/P"), 64);
+  const auto xt = runCommTests(machineByName("XT4/QC"), 64);
+  EXPECT_LT(bgp.pingPongLatency, xt.pingPongLatency);
+  EXPECT_GT(xt.pingPongBandwidth, 2.0 * bgp.pingPongBandwidth);
+}
+
+TEST(CommTests, RandomRingSlowerThanNatural) {
+  // Random rings cross many links and share them; natural rings are
+  // mostly nearest-neighbor.
+  const auto r = runCommTests(machineByName("BG/P"), 256);
+  EXPECT_LT(r.naturalRingLatency, r.randomRingLatency);
+  EXPECT_GT(r.naturalRingBandwidth, r.randomRingBandwidth);
+}
+
+TEST(CommTests, LatenciesInMicrosecondRange) {
+  const auto r = runCommTests(machineByName("BG/P"), 64);
+  EXPECT_GT(r.pingPongLatency, 0.5e-6);
+  EXPECT_LT(r.pingPongLatency, 20e-6);
+}
+
+}  // namespace
+}  // namespace bgp::hpcc

@@ -1,0 +1,173 @@
+// Tests for the HALO and IMB micro-benchmark harnesses (Figures 2 & 3).
+
+#include <gtest/gtest.h>
+
+#include "arch/machines.hpp"
+#include "microbench/halo.hpp"
+#include "microbench/imb.hpp"
+
+namespace bgp::microbench {
+namespace {
+
+using arch::machineByName;
+
+HaloConfig baseHalo(int nranks, int rows, int cols) {
+  HaloConfig c;
+  c.machine = machineByName("BG/P");
+  c.nranks = nranks;
+  c.gridRows = rows;
+  c.gridCols = cols;
+  c.reps = 2;
+  return c;
+}
+
+TEST(Halo, CostMonotoneInSize) {
+  const auto c = baseHalo(256, 16, 16);
+  double prev = 0;
+  for (int words : {2, 64, 2000, 20000}) {
+    const double t = runHalo(c, words);
+    EXPECT_GT(t, prev) << words;
+    prev = t;
+  }
+}
+
+TEST(Halo, SmallHalosMappingInsensitive) {
+  // Paper Fig. 2(c,d): "the choice of mapping is unimportant for small
+  // halo volumes."
+  auto c = baseHalo(1024, 32, 32);
+  double lo = 1e300, hi = 0;
+  for (const char* m : {"TXYZ", "XYZT", "TZYX", "ZYXT"}) {
+    c.mapping = m;
+    const double t = runHalo(c, 8);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_LT(hi / lo, 3.5);
+}
+
+TEST(Halo, LargeHalosMappingSensitive) {
+  // "In contrast, it is important for larger volumes for these large
+  // processor grids."
+  auto c = baseHalo(1024, 32, 32);
+  double lo = 1e300, hi = 0;
+  for (const char* m : {"TXYZ", "XYZT", "TZYX", "ZYXT"}) {
+    c.mapping = m;
+    const double t = runHalo(c, 20000);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GT(hi / lo, 1.5);
+}
+
+TEST(Halo, MappingIrrelevantWithoutContention) {
+  // Ablation: switching contention modeling off must collapse the
+  // large-halo mapping spread (same hop latencies, no queueing).
+  auto c = baseHalo(1024, 32, 32);
+  c.modelContention = false;
+  double lo = 1e300, hi = 0;
+  for (const char* m : {"TXYZ", "ZYXT"}) {
+    c.mapping = m;
+    const double t = runHalo(c, 20000);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_LT(hi / lo, 1.3);
+}
+
+TEST(Halo, ProtocolsBroadlySimilarSendrecvWorst) {
+  // Fig. 2(a,b): "performance is relatively insensitive to the choice of
+  // protocol, though MPI_SENDRECV is slower ... for certain halo sizes."
+  auto c = baseHalo(256, 16, 16);
+  c.protocol = HaloProtocol::IsendIrecv;
+  const double isend = runHalo(c, 2000);
+  c.protocol = HaloProtocol::Persistent;
+  const double persistent = runHalo(c, 2000);
+  c.protocol = HaloProtocol::Sendrecv;
+  const double sendrecv = runHalo(c, 2000);
+  EXPECT_NEAR(persistent, isend, 0.25 * isend);
+  EXPECT_GT(sendrecv, isend);
+}
+
+TEST(Halo, GridShapeScalability) {
+  // Fig. 2(e,f): cost does not grow appreciably with the processor grid.
+  // The paper compares "the performance for the best mapping for each
+  // processor grid size"; with that methodology the cost stays nearly
+  // flat as the grid grows 16x.
+  auto bestOver = [](HaloConfig c, int words) {
+    double best = 1e300;
+    for (const char* m : {"TXYZ", "TZYX", "XYZT", "ZYXT"}) {
+      c.mapping = m;
+      best = std::min(best, runHalo(c, words));
+    }
+    return best;
+  };
+  const double tSmall = bestOver(baseHalo(256, 16, 16), 2000);
+  const double tLarge = bestOver(baseHalo(4096, 64, 64), 2000);
+  EXPECT_LT(tLarge, 2.0 * tSmall);
+}
+
+TEST(Halo, RejectsMismatchedGrid) {
+  auto c = baseHalo(256, 10, 10);  // 100 != 256
+  EXPECT_THROW(runHalo(c, 10), PreconditionError);
+}
+
+TEST(Halo, ProtocolNames) {
+  EXPECT_EQ(toString(HaloProtocol::IsendIrecv), "ISEND/IRECV");
+  EXPECT_EQ(toString(HaloProtocol::Bsend), "BSEND");
+}
+
+// ---- IMB ----------------------------------------------------------------------
+
+ImbConfig imbConfig(const char* machine, int nranks) {
+  ImbConfig c;
+  c.machine = machineByName(machine);
+  c.nranks = nranks;
+  c.reps = 2;
+  return c;
+}
+
+TEST(Imb, AllreduceDoubleBeatsFloatOnBgpOnly) {
+  // Fig. 3(a,b) discussion: "a substantial performance benefit to using
+  // double precision over single precision on the BG/P but not the XT."
+  const auto bgp = imbConfig("BG/P", 512);
+  EXPECT_LT(imbAllreduce(bgp, 32768, net::Dtype::Double),
+            0.8 * imbAllreduce(bgp, 32768, net::Dtype::Float));
+  const auto xt = imbConfig("XT4/QC", 512);
+  EXPECT_NEAR(imbAllreduce(xt, 32768, net::Dtype::Double),
+              imbAllreduce(xt, 32768, net::Dtype::Float),
+              0.05 * imbAllreduce(xt, 32768, net::Dtype::Float));
+}
+
+TEST(Imb, BcastBgpDramaticallyFaster) {
+  // Fig. 3(c,d): BG/P beats the XT for all message sizes.
+  for (double bytes : {64.0, 32768.0, 1048576.0}) {
+    const double b = imbBcast(imbConfig("BG/P", 512), bytes);
+    const double x = imbBcast(imbConfig("XT4/QC", 512), bytes);
+    EXPECT_LT(b, 0.7 * x) << bytes;
+  }
+}
+
+TEST(Imb, LatencyScalesGentlyWithRanks) {
+  // Fig. 3(b,d): both systems scale well in process count; BG/P nearly
+  // flat (tree network).
+  const double b256 = imbAllreduce(imbConfig("BG/P", 256), 32768,
+                                   net::Dtype::Double);
+  const double b2048 = imbAllreduce(imbConfig("BG/P", 2048), 32768,
+                                    net::Dtype::Double);
+  EXPECT_LT(b2048, 1.6 * b256);
+}
+
+TEST(Imb, TreeAblationErasesBcastAdvantage) {
+  auto with = imbConfig("BG/P", 512);
+  auto without = imbConfig("BG/P", 512);
+  without.useTreeNetwork = false;
+  EXPECT_GT(imbBcast(without, 32768), 2.0 * imbBcast(with, 32768));
+}
+
+TEST(Imb, BarrierNetworkMicroseconds) {
+  EXPECT_LT(imbBarrier(imbConfig("BG/P", 2048)), 5e-6);
+  EXPECT_GT(imbBarrier(imbConfig("XT4/QC", 2048)), 20e-6);
+}
+
+}  // namespace
+}  // namespace bgp::microbench

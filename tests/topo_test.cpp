@@ -1,0 +1,292 @@
+// Unit + property tests for torus geometry, process mappings, and grids.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/mapping.hpp"
+#include "topo/process_grid.hpp"
+#include "topo/torus.hpp"
+
+namespace bgp::topo {
+namespace {
+
+TEST(Torus, CountAndRoundTrip) {
+  Torus3D t(4, 3, 2);
+  EXPECT_EQ(t.count(), 24);
+  for (NodeId id = 0; id < t.count(); ++id) {
+    const Coord3 c = t.coordOf(id);
+    EXPECT_EQ(t.nodeAt(c), id);
+  }
+}
+
+TEST(Torus, RejectsBadDims) {
+  EXPECT_THROW(Torus3D(0, 1, 1), PreconditionError);
+  EXPECT_THROW(Torus3D(2, -1, 2), PreconditionError);
+}
+
+TEST(Torus, ShortestDeltaWraps) {
+  Torus3D t(8, 8, 8);
+  EXPECT_EQ(t.shortestDelta(0, 0, 1), 1);
+  EXPECT_EQ(t.shortestDelta(0, 0, 7), -1);  // wrap is shorter
+  EXPECT_EQ(t.shortestDelta(0, 0, 4), 4);   // halfway ties positive
+  EXPECT_EQ(t.shortestDelta(0, 6, 1), 3);
+}
+
+TEST(Torus, HopDistanceSymmetricAndTriangle) {
+  Torus3D t(4, 4, 4);
+  for (NodeId a = 0; a < t.count(); a += 7)
+    for (NodeId b = 0; b < t.count(); b += 5) {
+      EXPECT_EQ(t.hopDistance(a, b), t.hopDistance(b, a));
+      for (NodeId c = 0; c < t.count(); c += 11)
+        EXPECT_LE(t.hopDistance(a, b),
+                  t.hopDistance(a, c) + t.hopDistance(c, b));
+    }
+}
+
+TEST(Torus, MaxHopDistanceIsSumOfHalfDims) {
+  Torus3D t(8, 8, 8);
+  int maxHops = 0;
+  for (NodeId b = 0; b < t.count(); ++b)
+    maxHops = std::max(maxHops, t.hopDistance(0, b));
+  EXPECT_EQ(maxHops, 12);  // 4+4+4
+}
+
+TEST(Torus, RouteLengthEqualsHopDistance) {
+  Torus3D t(4, 6, 2);
+  for (NodeId a = 0; a < t.count(); a += 3)
+    for (NodeId b = 0; b < t.count(); b += 7) {
+      const auto links = t.route(a, b);
+      EXPECT_EQ(static_cast<int>(links.size()), t.hopDistance(a, b));
+    }
+}
+
+TEST(Torus, RouteIsEmptyForSelf) {
+  Torus3D t(4, 4, 4);
+  EXPECT_TRUE(t.route(5, 5).empty());
+}
+
+TEST(Torus, RouteLinksAreContiguous) {
+  // Each link must leave the node the previous link arrived at.
+  Torus3D t(5, 4, 3);
+  const NodeId src = t.nodeAt({0, 0, 0});
+  const NodeId dst = t.nodeAt({3, 2, 2});
+  NodeId at = src;
+  for (const LinkId link : t.route(src, dst)) {
+    const NodeId owner = link / kNumDirs;
+    EXPECT_EQ(owner, at);
+    at = t.neighbor(owner, static_cast<Dir>(link % kNumDirs));
+  }
+  EXPECT_EQ(at, dst);
+}
+
+TEST(Torus, NeighborInverse) {
+  Torus3D t(4, 4, 4);
+  const std::pair<Dir, Dir> inverses[] = {
+      {Dir::XPlus, Dir::XMinus},
+      {Dir::YPlus, Dir::YMinus},
+      {Dir::ZPlus, Dir::ZMinus}};
+  for (NodeId n = 0; n < t.count(); ++n)
+    for (auto [d, inv] : inverses) {
+      EXPECT_EQ(t.neighbor(t.neighbor(n, d), inv), n);
+    }
+}
+
+TEST(Torus, BisectionLinkCount) {
+  // 8x8x8: cutting X in half crosses 2 planes (wrap) of 64 node pairs,
+  // 2 directed links each = 256.
+  Torus3D t(8, 8, 8);
+  EXPECT_EQ(t.bisectionLinkCount(), 256);
+}
+
+TEST(Torus, BalancedFactorizationsAreCompact) {
+  EXPECT_EQ(balancedTorusFor(512).describe(), "8x8x8");
+  const Torus3D t2048 = balancedTorusFor(2048);
+  EXPECT_EQ(t2048.count(), 2048);
+  EXPECT_LE(std::max({t2048.dimX(), t2048.dimY(), t2048.dimZ()}), 16);
+  const Torus3D t10000 = balancedTorusFor(10000);  // POP at 40k VN ranks
+  EXPECT_EQ(t10000.count(), 10000);
+  EXPECT_LE(std::max({t10000.dimX(), t10000.dimY(), t10000.dimZ()}), 25);
+}
+
+TEST(Torus, BalancedHandlesPrimes) {
+  const Torus3D t = balancedTorusFor(13);
+  EXPECT_EQ(t.count(), 13);
+}
+
+// ---- Mapping ----------------------------------------------------------------
+
+class MappingOrderTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MappingOrderTest, PlacementIsBijective) {
+  const Torus3D torus(4, 2, 3);
+  const Mapping map(torus, 4, GetParam());
+  std::set<std::pair<NodeId, int>> seen;
+  for (std::int64_t r = 0; r < map.maxRanks(); ++r) {
+    const Placement p = map.place(r);
+    EXPECT_TRUE(seen.emplace(p.node, p.core).second)
+        << "duplicate placement for rank " << r;
+    EXPECT_EQ(map.rankOf(p), r);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), map.maxRanks());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, MappingOrderTest,
+                         ::testing::ValuesIn(Mapping::allOrders()));
+
+TEST(Mapping, XYZTWalksXFirst) {
+  const Torus3D torus(4, 4, 4);
+  const Mapping map(torus, 4, "XYZT");
+  // Ranks 0..3 occupy consecutive X nodes, core 0.
+  for (int r = 0; r < 4; ++r) {
+    const Placement p = map.place(r);
+    EXPECT_EQ(torus.coordOf(p.node).x, r);
+    EXPECT_EQ(p.core, 0);
+  }
+}
+
+TEST(Mapping, TXYZPacksNodeFirst) {
+  const Torus3D torus(4, 4, 4);
+  const Mapping map(torus, 4, "TXYZ");
+  // Paper: "TXYZ ordering assigns processes 0-3 to the first node,
+  // 4-7 to the second node (in the X direction)".
+  for (int r = 0; r < 4; ++r) {
+    const Placement p = map.place(r);
+    EXPECT_EQ(p.node, torus.nodeAt({0, 0, 0}));
+    EXPECT_EQ(p.core, r);
+  }
+  for (int r = 4; r < 8; ++r) {
+    const Placement p = map.place(r);
+    EXPECT_EQ(p.node, torus.nodeAt({1, 0, 0}));
+    EXPECT_EQ(p.core, r - 4);
+  }
+}
+
+TEST(Mapping, SmpModeXyztEqualsTxyz) {
+  // Paper: "In SMP mode, the XYZT and TXYZ orderings are identical."
+  const Torus3D torus(4, 4, 2);
+  const Mapping a(torus, 1, "XYZT");
+  const Mapping b(torus, 1, "TXYZ");
+  for (std::int64_t r = 0; r < a.maxRanks(); ++r)
+    EXPECT_EQ(a.place(r).node, b.place(r).node);
+}
+
+TEST(Mapping, DualModeSplitsPairs) {
+  const Torus3D torus(4, 1, 1);
+  const Mapping map(torus, 2, "TXYZ");
+  // DUAL: processes 0-1 on node 0, 2-3 on node 1 (paper section I.A).
+  EXPECT_EQ(map.place(0).node, map.place(1).node);
+  EXPECT_NE(map.place(1).node, map.place(2).node);
+  EXPECT_EQ(map.place(2).node, map.place(3).node);
+}
+
+TEST(Mapping, RejectsBadOrders) {
+  const Torus3D torus(2, 2, 2);
+  EXPECT_THROW(Mapping(torus, 4, "XXYZ"), PreconditionError);
+  EXPECT_THROW(Mapping(torus, 4, "XYZ"), PreconditionError);
+  EXPECT_THROW(Mapping(torus, 4, "ABCD"), PreconditionError);
+}
+
+TEST(Mapping, PaperOrdersAreEight) {
+  EXPECT_EQ(Mapping::paperOrders().size(), 8u);
+}
+
+TEST(Mapping, RankOutOfRangeThrows) {
+  const Torus3D torus(2, 2, 2);
+  const Mapping map(torus, 1, "XYZT");
+  EXPECT_THROW(map.place(8), PreconditionError);
+  EXPECT_THROW(map.place(-1), PreconditionError);
+}
+
+TEST(Mapping, MapfilePlacesExplicitly) {
+  // BG/P accepts an explicit mapfile (BG_MAPFILE); ranks land exactly
+  // where the file says.
+  const Torus3D torus(2, 2, 1);
+  std::vector<Placement> file = {
+      {torus.nodeAt({1, 1, 0}), 0},
+      {torus.nodeAt({0, 0, 0}), 1},
+      {torus.nodeAt({1, 0, 0}), 3},
+  };
+  const Mapping map(torus, 4, file);
+  EXPECT_TRUE(map.isMapfile());
+  EXPECT_EQ(map.order(), "FILE");
+  EXPECT_EQ(map.place(0).node, torus.nodeAt({1, 1, 0}));
+  EXPECT_EQ(map.place(1).core, 1);
+  EXPECT_EQ(map.rankOf(file[2]), 2);
+  EXPECT_THROW(map.place(3), PreconditionError);  // beyond file length
+}
+
+TEST(Mapping, MapfileRejectsDuplicatesAndOutOfRange) {
+  const Torus3D torus(2, 2, 1);
+  const Placement slot{torus.nodeAt({0, 0, 0}), 0};
+  EXPECT_THROW(Mapping(torus, 4, std::vector<Placement>{slot, slot}),
+               PreconditionError);
+  EXPECT_THROW(Mapping(torus, 2, std::vector<Placement>{{0, 2}}),
+               PreconditionError);  // core 2 with 2 tasks/node
+  EXPECT_THROW(Mapping(torus, 2, std::vector<Placement>{{99, 0}}),
+               PreconditionError);  // node outside torus
+  EXPECT_THROW(Mapping(torus, 2, std::vector<Placement>{}),
+               PreconditionError);
+}
+
+TEST(Mapping, MapfileRankOfRejectsUnmappedPlacement) {
+  const Torus3D torus(2, 1, 1);
+  const Mapping map(torus, 1, std::vector<Placement>{{0, 0}});
+  EXPECT_THROW(map.rankOf(Placement{1, 0}), PreconditionError);
+}
+
+// ---- ProcessGrid ------------------------------------------------------------
+
+TEST(Grid2D, RowMajorLayout) {
+  ProcessGrid2D g(2, 3);
+  EXPECT_EQ(g.rankAt(0, 0), 0);
+  EXPECT_EQ(g.rankAt(0, 2), 2);
+  EXPECT_EQ(g.rankAt(1, 0), 3);
+  EXPECT_EQ(g.rowOf(4), 1);
+  EXPECT_EQ(g.colOf(4), 1);
+}
+
+TEST(Grid2D, PeriodicNeighbors) {
+  ProcessGrid2D g(4, 4);
+  const std::int64_t r = g.rankAt(0, 0);
+  EXPECT_EQ(g.north(r), g.rankAt(3, 0));
+  EXPECT_EQ(g.south(r), g.rankAt(1, 0));
+  EXPECT_EQ(g.west(r), g.rankAt(0, 3));
+  EXPECT_EQ(g.east(r), g.rankAt(0, 1));
+}
+
+TEST(Grid2D, NeighborsAreInvolutions) {
+  ProcessGrid2D g(3, 5);
+  for (std::int64_t r = 0; r < g.size(); ++r) {
+    EXPECT_EQ(g.south(g.north(r)), r);
+    EXPECT_EQ(g.east(g.west(r)), r);
+  }
+}
+
+TEST(Grid2D, NearSquare) {
+  const auto g = nearSquareGrid(8192);
+  EXPECT_EQ(g.size(), 8192);
+  EXPECT_EQ(g.rows(), 64);
+  EXPECT_EQ(g.cols(), 128);
+}
+
+TEST(Grid3D, RoundTripAndNeighbors) {
+  ProcessGrid3D g(3, 4, 5);
+  for (std::int64_t r = 0; r < g.size(); ++r) {
+    EXPECT_EQ(g.rankAt(g.coordOf(r)), r);
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_EQ(g.neighbor(g.neighbor(r, axis, 1), axis, -1), r);
+    }
+  }
+}
+
+TEST(Grid3D, NearCubic) {
+  const auto g = nearCubicGrid(512);
+  EXPECT_EQ(g.size(), 512);
+  EXPECT_EQ(g.dim(0), 8);
+  EXPECT_EQ(g.dim(1), 8);
+  EXPECT_EQ(g.dim(2), 8);
+}
+
+}  // namespace
+}  // namespace bgp::topo
