@@ -46,6 +46,7 @@ PopResult runPop(const PopConfig& config) {
   // why the paper finds performance "relatively insensitive" to the mode).
   opts.useOpenMP = false;
   smpi::Simulation sim(config.machine, config.nranks, opts);
+  sim.setFaults(config.faults);
   const auto& sys = sim.system();
 
   const double totalPoints = static_cast<double>(kPopNx) * kPopNy * kPopNz;

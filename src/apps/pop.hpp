@@ -20,6 +20,7 @@
 
 #include "arch/exec_mode.hpp"
 #include "arch/machine.hpp"
+#include "sim/fault.hpp"
 
 namespace bgp::apps {
 
@@ -36,6 +37,8 @@ struct PopConfig {
   bool timingBarrier = true;
   int simulatedDays = 1;
   std::uint64_t seed = 1846;  // Maury's "Physical Geography of the Sea"
+  /// Fault injection (resilience studies); all-zero = perfect machine.
+  sim::FaultConfig faults{};
 };
 
 struct PopResult {

@@ -30,6 +30,7 @@ S3dResult runS3d(const S3dConfig& config) {
   BGP_REQUIRE(config.pointsPerRankEdge >= 8);
 
   smpi::Simulation sim(config.machine, config.nranks);
+  sim.setFaults(config.faults);
   const topo::ProcessGrid3D grid = topo::nearCubicGrid(config.nranks);
 
   const double edge = config.pointsPerRankEdge;

@@ -7,6 +7,7 @@
 // exchange only; global collectives appear only for monitoring.
 
 #include "arch/machine.hpp"
+#include "sim/fault.hpp"
 
 namespace bgp::apps {
 
@@ -15,6 +16,8 @@ struct S3dConfig {
   int nranks = 0;
   int pointsPerRankEdge = 50;  // 50^3 per MPI rank, as in the paper
   int steps = 10;
+  /// Fault injection (resilience studies); all-zero = perfect machine.
+  sim::FaultConfig faults{};
 };
 
 struct S3dResult {

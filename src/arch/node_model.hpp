@@ -4,6 +4,8 @@
 // benchmark's "do this much work" into simulated seconds, and is the reason
 // VN mode sees less memory bandwidth per task than SMP mode.
 
+#include <utility>
+
 #include "arch/machine.hpp"
 
 namespace bgp::arch {
@@ -33,13 +35,15 @@ struct Work {
 
 class NodeModel {
  public:
-  explicit NodeModel(const MachineConfig& machine) : machine_(&machine) {}
+  explicit NodeModel(MachineConfig machine) : machine_(std::move(machine)) {}
 
   /// Time for one task to execute `w` using `threads` OpenMP threads while
   /// `tasksOnNode` tasks are active on the node (all assumed symmetric).
   /// Roofline: max(compute time, memory time) under the task's share of the
-  /// node memory bandwidth.
-  double time(const Work& w, int threads, int tasksOnNode) const;
+  /// node memory bandwidth.  `slowdown` (>= 1) scales the result — the
+  /// fault plane's straggler hook (sim/fault.hpp); 1.0 is a healthy node.
+  double time(const Work& w, int threads, int tasksOnNode,
+              double slowdown = 1.0) const;
 
   /// Flop rate (flops/s) one task sustains for `w` (flops / time); 0 when
   /// `w.flops == 0`.
@@ -63,10 +67,10 @@ class NodeModel {
                     double serialFraction,
                     double forkJoinSeconds = 2e-6) const;
 
-  const MachineConfig& machine() const { return *machine_; }
+  const MachineConfig& machine() const { return machine_; }
 
  private:
-  const MachineConfig* machine_;
+  MachineConfig machine_;
 };
 
 }  // namespace bgp::arch

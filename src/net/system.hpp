@@ -55,9 +55,10 @@ class System {
   }
 
   /// Time for one task to execute `w` (assumes all node task slots busy,
-  /// the common case in benchmarks).
-  double computeTime(const arch::Work& w) const {
-    return nodeModel_->time(w, threadsPerTask_, tasksPerNode_);
+  /// the common case in benchmarks).  `slowdown` scales the result for
+  /// straggler nodes (fault plane); 1.0 is a healthy node.
+  double computeTime(const arch::Work& w, double slowdown = 1.0) const {
+    return nodeModel_->time(w, threadsPerTask_, tasksPerNode_, slowdown);
   }
 
   /// Analytic collective cost at this partition's full size.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hpp"
 #include "support/expect.hpp"
 
 namespace bgp::net {
@@ -13,17 +14,26 @@ TorusNetwork::TorusNetwork(topo::Torus3D torus, TorusParams params)
   nextFree_.assign(static_cast<std::size_t>(torus_.linkCount()), 0.0);
 }
 
-std::pair<sim::SimTime, sim::SimTime> TorusNetwork::walk(
-    const std::vector<topo::LinkId>& links, double bytes, sim::SimTime start,
-    bool commit) {
-  const double ser = bytes / params_.linkBandwidth;
+TorusNetwork::Walk TorusNetwork::walk(const std::vector<topo::LinkId>& links,
+                                      double bytes, sim::SimTime start,
+                                      bool commit) {
+  const double serBase = bytes / params_.linkBandwidth;
   sim::SimTime head = start + params_.swLatency;
   sim::SimTime firstClaim = head;
+  double serMax = serBase;
   bool first = true;
   for (const topo::LinkId link : links) {
-    auto& free = nextFree_[static_cast<std::size_t>(link)];
-    const sim::SimTime claim =
-        params_.modelContention ? std::max(head, free) : head;
+    const auto li = static_cast<std::size_t>(link);
+    auto& free = nextFree_[li];
+    double ser = serBase;
+    sim::SimTime claim = params_.modelContention ? std::max(head, free) : head;
+    if (faults_) {
+      // A degraded link serializes slower; a claim inside an outage window
+      // retries past it (both no-ops on healthy links).
+      ser = bytes / (params_.linkBandwidth * faults_->linkBandwidthFactor(li));
+      claim = faults_->retryThroughOutages(li, claim);
+      serMax = std::max(serMax, ser);
+    }
     if (params_.modelContention && commit) free = claim + ser;
     if (first) {
       firstClaim = claim;
@@ -31,7 +41,7 @@ std::pair<sim::SimTime, sim::SimTime> TorusNetwork::walk(
     }
     head = claim + params_.hopLatency;
   }
-  return {firstClaim, head};
+  return Walk{firstClaim, head, serMax};
 }
 
 TorusNetwork::Transfer TorusNetwork::transfer(topo::NodeId src,
@@ -43,20 +53,18 @@ TorusNetwork::Transfer TorusNetwork::transfer(topo::NodeId src,
         start + params_.shmLatency + bytes / params_.shmBandwidth;
     return Transfer{done, done};
   }
-  const double ser = bytes / params_.linkBandwidth;
-
   std::vector<topo::LinkId> links = torus_.route(src, dst);
   if (params_.adaptiveRouting && params_.modelContention) {
     // Probe the alternative minimal route and take whichever delivers the
     // head earlier under current congestion.
     std::vector<topo::LinkId> alt = torus_.routeOrdered(src, dst, {2, 1, 0});
-    const auto primary = walk(links, bytes, start, /*commit=*/false);
-    const auto secondary = walk(alt, bytes, start, /*commit=*/false);
-    if (secondary.second < primary.second) links = std::move(alt);
+    const Walk primary = walk(links, bytes, start, /*commit=*/false);
+    const Walk secondary = walk(alt, bytes, start, /*commit=*/false);
+    if (secondary.head < primary.head) links = std::move(alt);
   }
-  const auto [firstClaim, head] = walk(links, bytes, start, /*commit=*/true);
+  const Walk w = walk(links, bytes, start, /*commit=*/true);
   bytesRouted_ += bytes;
-  return Transfer{firstClaim + ser, head + ser + params_.swLatency};
+  return Transfer{w.firstClaim + w.serMax, w.head + w.serMax + params_.swLatency};
 }
 
 sim::SimTime TorusNetwork::latencyEstimate(topo::NodeId src, topo::NodeId dst,

@@ -17,6 +17,10 @@
 #include "sim/engine.hpp"
 #include "topo/torus.hpp"
 
+namespace bgp::sim {
+class FaultPlane;
+}
+
 namespace bgp::net {
 
 struct TorusParams {
@@ -56,6 +60,15 @@ class TorusNetwork {
   /// Clears all link occupancy (between benchmark repetitions).
   void reset();
 
+  /// Attaches a fault-injection plane (owned by the caller, may be null).
+  /// Degraded links serialize at their reduced bandwidth — the slowest
+  /// link on a route paces the whole cut-through pipeline — and a claim
+  /// landing inside a link outage retries past the window with
+  /// exponential backoff.  With adaptive routing enabled, the route probe
+  /// sees the same penalties, so messages dodge dead links naturally.
+  void attachFaults(sim::FaultPlane* faults) { faults_ = faults; }
+  const sim::FaultPlane* faults() const { return faults_; }
+
   const topo::Torus3D& torus() const { return torus_; }
   TorusParams& params() { return params_; }
   const TorusParams& params() const { return params_; }
@@ -67,15 +80,19 @@ class TorusNetwork {
   double bytesRouted() const { return bytesRouted_; }
 
  private:
-  /// Walks `links`, returning {firstClaim, headArrival}; claims capacity
-  /// only when `commit` is true.
-  std::pair<sim::SimTime, sim::SimTime> walk(
-      const std::vector<topo::LinkId>& links, double bytes,
-      sim::SimTime start, bool commit);
+  struct Walk {
+    sim::SimTime firstClaim;  // when the first link was claimed
+    sim::SimTime head;        // when the message head reaches the far end
+    double serMax;            // serialization time on the slowest link
+  };
+  /// Walks `links`; claims capacity only when `commit` is true.
+  Walk walk(const std::vector<topo::LinkId>& links, double bytes,
+            sim::SimTime start, bool commit);
 
   topo::Torus3D torus_;
   TorusParams params_;
   std::vector<sim::SimTime> nextFree_;  // per directed link
+  sim::FaultPlane* faults_ = nullptr;   // not owned; null = perfect machine
   double bytesRouted_ = 0.0;
 };
 

@@ -40,9 +40,25 @@ class Engine {
     queue_.push(Event{t, nextSeq_++, nullptr, std::move(fn)});
   }
 
+  /// Arms the watchdog: run() aborts with WatchdogError once more than
+  /// `maxEvents` events have been processed, or when the next event lies
+  /// beyond `maxSimTime` simulated seconds.  Zero (the default) disables
+  /// the corresponding budget.
+  void setWatchdog(std::uint64_t maxEvents, SimTime maxSimTime) {
+    BGP_REQUIRE_MSG(maxSimTime >= 0.0, "watchdog sim-time budget < 0");
+    wdMaxEvents_ = maxEvents;
+    wdMaxSimTime_ = maxSimTime;
+  }
+
   /// Runs until the event queue drains.  Returns the final simulated time.
   SimTime run() {
-    while (!queue_.empty()) step();
+    while (!queue_.empty()) {
+      if (wdMaxEvents_ > 0 && eventsProcessed_ >= wdMaxEvents_)
+        watchdogAbort("event budget exhausted");
+      if (wdMaxSimTime_ > 0 && queue_.top().time > wdMaxSimTime_)
+        watchdogAbort("simulated-time budget exhausted");
+      step();
+    }
     return now_;
   }
 
@@ -68,6 +84,18 @@ class Engine {
   std::size_t pending() const { return queue_.size(); }
 
  private:
+  [[noreturn]] void watchdogAbort(const char* why) const {
+    throw WatchdogError(
+        "simulation watchdog: " + std::string(why) + " (events processed " +
+        std::to_string(eventsProcessed_) + "/" +
+        (wdMaxEvents_ ? std::to_string(wdMaxEvents_) : std::string("inf")) +
+        ", simulated time " + std::to_string(now_) + " s of " +
+        (wdMaxSimTime_ > 0 ? std::to_string(wdMaxSimTime_) + " s budget"
+                           : std::string("unbounded")) +
+        ", " + std::to_string(queue_.size()) +
+        " events pending; likely a runaway or livelocked program)");
+  }
+
   struct Event {
     SimTime time;
     std::uint64_t seq;
@@ -82,6 +110,8 @@ class Engine {
   };
 
   SimTime now_ = 0.0;
+  std::uint64_t wdMaxEvents_ = 0;
+  SimTime wdMaxSimTime_ = 0.0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t eventsProcessed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -1,0 +1,122 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expect.hpp"
+
+namespace bgp::sim {
+
+namespace {
+
+/// Independent RNG stream for element `idx` of schedule family `salt`.
+Rng subStream(std::uint64_t seed, std::uint64_t salt, std::uint64_t idx) {
+  std::uint64_t state =
+      seed + salt * 0x9E3779B97F4A7C15ULL + (idx + 1) * 0xBF58476D1CE4E5B9ULL;
+  return Rng(splitmix64(state));
+}
+
+double expDraw(Rng& rng, double mean) {
+  // Inverse CDF; 1 - uniform() is in (0, 1] so the log is finite.
+  return -std::log(1.0 - rng.uniform()) * mean;
+}
+
+constexpr std::uint64_t kSaltDegrade = 0xD46;
+constexpr std::uint64_t kSaltOutage = 0x0A7;
+constexpr std::uint64_t kSaltStraggler = 0x57A;
+constexpr std::uint64_t kSaltFailStop = 0xF51;
+
+}  // namespace
+
+FaultPlane::FaultPlane(const FaultConfig& config, std::size_t linkCount,
+                       std::size_t nodeCount)
+    : config_(config) {
+  BGP_REQUIRE_MSG(config.linkDegradeFraction >= 0.0 &&
+                      config.linkDegradeFraction <= 1.0,
+                  "link degrade fraction must be in [0, 1]");
+  BGP_REQUIRE_MSG(config.linkDegradeFactor > 0.0 &&
+                      config.linkDegradeFactor <= 1.0,
+                  "degraded links must keep a positive bandwidth fraction");
+  BGP_REQUIRE_MSG(config.linkOutagesPerSecond >= 0.0 &&
+                      config.linkOutageMeanSeconds > 0.0,
+                  "outage rate must be >= 0 with a positive mean duration");
+  BGP_REQUIRE_MSG(config.retryBackoffSeconds > 0.0 &&
+                      config.retryBackoffCapSeconds >=
+                          config.retryBackoffSeconds,
+                  "retry backoff must be positive and below its cap");
+  BGP_REQUIRE_MSG(config.stragglerFraction >= 0.0 &&
+                      config.stragglerFraction <= 1.0,
+                  "straggler fraction must be in [0, 1]");
+  BGP_REQUIRE_MSG(config.stragglerSlowdown >= 1.0,
+                  "stragglers cannot run faster than healthy nodes");
+  BGP_REQUIRE_MSG(config.failStopsPerNodeSecond >= 0.0,
+                  "fail-stop rate must be >= 0");
+  BGP_REQUIRE_MSG(config.osNoiseFraction >= 0.0,
+                  "OS-noise fraction must be >= 0");
+
+  if (config.linkDegradeFraction > 0.0) {
+    linkFactor_.resize(linkCount, 1.0);
+    for (std::size_t l = 0; l < linkCount; ++l) {
+      Rng rng = subStream(config.seed, kSaltDegrade, l);
+      if (rng.uniform() < config.linkDegradeFraction)
+        linkFactor_[l] = config.linkDegradeFactor;
+    }
+  }
+  if (config.linkOutagesPerSecond > 0.0) {
+    outages_.reserve(linkCount);
+    for (std::size_t l = 0; l < linkCount; ++l)
+      outages_.push_back(
+          OutageTrack{subStream(config.seed, kSaltOutage, l), 0.0, {}});
+  }
+  if (config.stragglerFraction > 0.0) {
+    nodeSlowdown_.resize(nodeCount, 1.0);
+    for (std::size_t n = 0; n < nodeCount; ++n) {
+      Rng rng = subStream(config.seed, kSaltStraggler, n);
+      if (rng.uniform() < config.stragglerFraction)
+        nodeSlowdown_[n] = config.stragglerSlowdown;
+    }
+  }
+  if (config.failStopsPerNodeSecond > 0.0) {
+    failStop_.resize(nodeCount, kNever);
+    for (std::size_t n = 0; n < nodeCount; ++n) {
+      Rng rng = subStream(config.seed, kSaltFailStop, n);
+      failStop_[n] = expDraw(rng, 1.0 / config.failStopsPerNodeSecond);
+    }
+  }
+}
+
+void FaultPlane::extendOutages(OutageTrack& track, SimTime t) const {
+  // Generate windows until the newest one starts beyond `t`; the stream is
+  // consumed strictly in order, so the cache contents never depend on the
+  // query pattern.
+  while (track.windows.empty() || track.windows.back().first <= t) {
+    const SimTime start =
+        track.cursor + expDraw(track.rng, 1.0 / config_.linkOutagesPerSecond);
+    const SimTime end =
+        start + expDraw(track.rng, config_.linkOutageMeanSeconds);
+    track.windows.emplace_back(start, end);
+    track.cursor = end;
+  }
+}
+
+SimTime FaultPlane::retryThroughOutages(std::size_t link, SimTime t) {
+  if (outages_.empty()) return t;
+  OutageTrack& track = outages_[link];
+  double backoff = config_.retryBackoffSeconds;
+  for (;;) {
+    extendOutages(track, t);
+    // Last window starting at or before t (windows are sorted by start).
+    auto it = std::upper_bound(
+        track.windows.begin(), track.windows.end(), t,
+        [](SimTime v, const std::pair<SimTime, SimTime>& w) {
+          return v < w.first;
+        });
+    if (it == track.windows.begin()) return t;
+    --it;
+    if (t >= it->second) return t;  // outage already over
+    t = it->second + backoff;       // retry after the link comes back
+    backoff = std::min(backoff * 2.0, config_.retryBackoffCapSeconds);
+  }
+}
+
+}  // namespace bgp::sim

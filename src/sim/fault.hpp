@@ -1,0 +1,119 @@
+#pragma once
+// Deterministic fault-injection plane.
+//
+// Real machines survive degraded links, transient link outages, straggler
+// nodes, OS noise, and outright node failures; a simulator that assumes a
+// perfect machine can neither test the runtime's robustness nor ask "how
+// much headroom does this result have?".  The FaultPlane answers both: it
+// is a pure function of (FaultConfig, link/node index), so a faulted run
+// is exactly as reproducible as a clean one, and every schedule is derived
+// from per-element RNG streams so query order never changes the outcome.
+//
+// Consumers:
+//  * net::TorusNetwork asks for per-link bandwidth factors and retries
+//    claims through outage windows (exponential backoff, as the BG/P
+//    link-level retransmit protocol does);
+//  * smpi::Simulation asks for per-node compute slowdown, fail-stop times,
+//    and the extra OS-noise fraction applied to compute intervals.
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace bgp::sim {
+
+/// Thrown when a simulated rank executes past its node's fail-stop time.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// All knobs default to "off"; a default-constructed config injects
+/// nothing and leaves every simulated timing bit-identical.
+struct FaultConfig {
+  std::uint64_t seed = 0xFA017;
+
+  // ---- permanent per-link bandwidth degradation ----------------------------
+  double linkDegradeFraction = 0.0;  // fraction of directed links degraded
+  double linkDegradeFactor = 0.5;    // bandwidth kept by a degraded link
+
+  // ---- transient link outages ----------------------------------------------
+  double linkOutagesPerSecond = 0.0;    // Poisson rate per directed link
+  double linkOutageMeanSeconds = 1e-3;  // exponential outage duration
+  double retryBackoffSeconds = 2e-5;    // first retry delay after an outage
+  double retryBackoffCapSeconds = 5e-3;
+
+  // ---- node stragglers ------------------------------------------------------
+  double stragglerFraction = 0.0;  // fraction of nodes running slow
+  double stragglerSlowdown = 1.5;  // compute-time multiplier on those nodes
+
+  // ---- fail-stop node failures ---------------------------------------------
+  double failStopsPerNodeSecond = 0.0;  // Poisson rate per node
+
+  // ---- operating-system noise ----------------------------------------------
+  double osNoiseFraction = 0.0;  // extra relative jitter on compute blocks
+
+  bool anyLinkFaults() const {
+    return linkDegradeFraction > 0.0 || linkOutagesPerSecond > 0.0;
+  }
+  bool anyNodeFaults() const {
+    return stragglerFraction > 0.0 || failStopsPerNodeSecond > 0.0 ||
+           osNoiseFraction > 0.0;
+  }
+  bool any() const { return anyLinkFaults() || anyNodeFaults(); }
+};
+
+class FaultPlane {
+ public:
+  FaultPlane(const FaultConfig& config, std::size_t linkCount,
+             std::size_t nodeCount);
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Bandwidth multiplier of a directed link (1.0 = healthy).
+  double linkBandwidthFactor(std::size_t link) const {
+    return linkFactor_.empty() ? 1.0 : linkFactor_[link];
+  }
+
+  /// Earliest time >= `t` at which `link` accepts traffic: while `t` falls
+  /// inside an outage window the claim retries after the window ends plus
+  /// an exponentially growing backoff.  Deterministic: windows are a pure
+  /// per-link stream; only the lazily-extended cache mutates.
+  SimTime retryThroughOutages(std::size_t link, SimTime t);
+
+  /// Compute-time multiplier of a node (1.0 = healthy, >1 = straggler).
+  double nodeSlowdown(std::size_t node) const {
+    return nodeSlowdown_.empty() ? 1.0 : nodeSlowdown_[node];
+  }
+
+  /// Fail-stop time of a node, or +infinity if it never fails.
+  SimTime failStopTime(std::size_t node) const {
+    return failStop_.empty() ? kNever : failStop_[node];
+  }
+
+  /// Extra OS-noise fraction applied on top of the machine's own.
+  double osNoiseFraction() const { return config_.osNoiseFraction; }
+
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+ private:
+  struct OutageTrack {
+    Rng rng;
+    SimTime cursor = 0.0;  // end of the last generated window
+    std::vector<std::pair<SimTime, SimTime>> windows;  // sorted, disjoint
+  };
+  void extendOutages(OutageTrack& track, SimTime t) const;
+
+  FaultConfig config_;
+  std::vector<double> linkFactor_;     // empty when no degradation
+  std::vector<OutageTrack> outages_;   // empty when no outages
+  std::vector<double> nodeSlowdown_;   // empty when no stragglers
+  std::vector<SimTime> failStop_;      // empty when no fail-stops
+};
+
+}  // namespace bgp::sim

@@ -40,6 +40,7 @@ class Comm {
 
  private:
   friend class Simulation;
+  friend class Verifier;  // finalize-time leak scans over matching state
 
   Comm(int id, std::vector<int> members, int worldSize);
 
@@ -60,6 +61,9 @@ class Comm {
     net::CollKind kind{};
     double bytes = 0.0;
     net::Dtype dt{};
+    int root = -1;
+    ReduceOp rop = ReduceOp::None;
+    int firstRank = -1;  // comm rank that opened the gate (diagnostics)
     int arrived = 0;
     sim::SimTime lastArrival = 0.0;
     std::vector<Request> ops;

@@ -30,6 +30,7 @@ void AwaitOps::await_suspend(std::coroutine_handle<> h) {
     return;
   }
   rank_->blockedOn_ = ops_.front()->what;
+  rank_->pendingOps_ = &ops_;
   const double blockStart = sim_->engine().now();
   const bool collective =
       std::string_view(ops_.front()->what) == "collective";
@@ -39,6 +40,7 @@ void AwaitOps::await_suspend(std::coroutine_handle<> h) {
       BGP_CHECK(remaining_ > 0);
       if (--remaining_ == 0) {
         rank_->blockedOn_ = nullptr;
+        rank_->pendingOps_ = nullptr;
         const double waited = sim_->engine().now() - blockStart;
         if (collective) {
           rank_->stats_.collWaitSeconds += waited;
@@ -51,7 +53,10 @@ void AwaitOps::await_suspend(std::coroutine_handle<> h) {
   }
 }
 
-RecvInfo AwaitOps::await_resume() const { return ops_.front()->info; }
+RecvInfo AwaitOps::await_resume() const {
+  for (const auto& op : ops_) op->waited = true;
+  return ops_.front()->info;
+}
 
 // ---- AwaitAny ---------------------------------------------------------------
 
@@ -77,6 +82,7 @@ bool AwaitAny::await_ready() const {
 
 void AwaitAny::await_suspend(std::coroutine_handle<> h) {
   rank_->blockedOn_ = "waitany";
+  rank_->pendingOps_ = &ops_;
   const double blockStart = sim_->engine().now();
   Rank* rank = rank_;
   Simulation* sim = sim_;
@@ -89,6 +95,7 @@ void AwaitAny::await_suspend(std::coroutine_handle<> h) {
       shared->fired = true;
       shared->index = i;
       rank->blockedOn_ = nullptr;
+      rank->pendingOps_ = nullptr;
       rank->stats_.p2pWaitSeconds += sim->engine().now() - blockStart;
       sim->engine().schedule(sim->engine().now(), h);
     });
@@ -97,6 +104,9 @@ void AwaitAny::await_suspend(std::coroutine_handle<> h) {
 
 std::size_t AwaitAny::await_resume() const {
   BGP_CHECK(shared_->fired);
+  // Only the fired request counts as waited (MPI_Waitany semantics); the
+  // others stay live and must be waited on again.
+  ops_[shared_->index]->waited = true;
   return shared_->index;
 }
 
@@ -124,15 +134,19 @@ int Rank::size() const { return sim_->nranks(); }
 sim::SimTime Rank::now() const { return sim_->engine().now(); }
 
 AwaitCompute Rank::compute(double seconds) {
-  return AwaitCompute(*sim_, *this, noisy(seconds));
+  sim_->checkAlive(id_);
+  return AwaitCompute(*sim_, *this,
+                      noisy(seconds * sim_->slowdownFor(id_)));
 }
 
 AwaitCompute Rank::compute(const arch::Work& w) {
-  return AwaitCompute(*sim_, *this, noisy(sim_->computeTime(w)));
+  sim_->checkAlive(id_);
+  return AwaitCompute(*sim_, *this, noisy(sim_->computeTimeFor(w, id_)));
 }
 
 double Rank::noisy(double seconds) {
-  const double f = sim_->system().machine().osNoiseFraction;
+  const double f =
+      sim_->system().machine().osNoiseFraction + sim_->faultNoise();
   if (f <= 0.0 || seconds <= 0.0) return seconds;
   // Mean-(1+f) multiplicative jitter, deterministic per rank stream.
   return seconds * (1.0 + f * 2.0 * rng_.uniform());
@@ -142,7 +156,9 @@ Request Rank::isend(int dst, double bytes, int tag) {
   return isend(sim_->world(), dst, bytes, tag);
 }
 
-Request Rank::irecv(int src, int tag) { return irecv(sim_->world(), src, tag); }
+Request Rank::irecv(int src, int tag, double expectedBytes) {
+  return irecv(sim_->world(), src, tag, expectedBytes);
+}
 
 Request Rank::isend(Comm& comm, int dst, double bytes, int tag) {
   ++stats_.sends;
@@ -150,23 +166,25 @@ Request Rank::isend(Comm& comm, int dst, double bytes, int tag) {
   return sim_->startSend(id_, comm, dst, bytes, tag);
 }
 
-Request Rank::irecv(Comm& comm, int src, int tag) {
+Request Rank::irecv(Comm& comm, int src, int tag, double expectedBytes) {
   ++stats_.recvs;
-  return sim_->postRecv(id_, comm, src, tag);
+  return sim_->postRecv(id_, comm, src, tag, expectedBytes);
 }
 
 AwaitOps Rank::send(int dst, double bytes, int tag) {
   return wait(isend(dst, bytes, tag));
 }
 
-AwaitOps Rank::recv(int src, int tag) { return wait(irecv(src, tag)); }
+AwaitOps Rank::recv(int src, int tag, double expectedBytes) {
+  return wait(irecv(src, tag, expectedBytes));
+}
 
 AwaitOps Rank::send(Comm& comm, int dst, double bytes, int tag) {
   return wait(isend(comm, dst, bytes, tag));
 }
 
-AwaitOps Rank::recv(Comm& comm, int src, int tag) {
-  return wait(irecv(comm, src, tag));
+AwaitOps Rank::recv(Comm& comm, int src, int tag, double expectedBytes) {
+  return wait(irecv(comm, src, tag, expectedBytes));
 }
 
 AwaitOps Rank::sendrecv(int dst, double sendBytes, int src, int sendTag,
@@ -198,11 +216,11 @@ AwaitOps Rank::barrier() { return barrier(sim_->world()); }
 AwaitOps Rank::bcast(double bytes, int root) {
   return bcast(sim_->world(), bytes, root);
 }
-AwaitOps Rank::reduce(double bytes, int root, net::Dtype dt) {
-  return reduce(sim_->world(), bytes, root, dt);
+AwaitOps Rank::reduce(double bytes, int root, net::Dtype dt, ReduceOp op) {
+  return reduce(sim_->world(), bytes, root, dt, op);
 }
-AwaitOps Rank::allreduce(double bytes, net::Dtype dt) {
-  return allreduce(sim_->world(), bytes, dt);
+AwaitOps Rank::allreduce(double bytes, net::Dtype dt, ReduceOp op) {
+  return allreduce(sim_->world(), bytes, dt, op);
 }
 AwaitOps Rank::allgather(double bytesPerRank) {
   return allgather(sim_->world(), bytesPerRank);
@@ -212,21 +230,19 @@ AwaitOps Rank::alltoall(double bytesPerPair) {
 }
 AwaitOps Rank::gather(double bytes, int root) {
   ++stats_.collectives;
-  (void)root;
   return AwaitOps(*sim_, *this,
                   {sim_->joinCollective(sim_->world(),
                                         sim_->world().commRankOf(id_),
                                         net::CollKind::Gather, bytes,
-                                        net::Dtype::Byte)});
+                                        net::Dtype::Byte, root)});
 }
 AwaitOps Rank::scatter(double bytes, int root) {
   ++stats_.collectives;
-  (void)root;
   return AwaitOps(*sim_, *this,
                   {sim_->joinCollective(sim_->world(),
                                         sim_->world().commRankOf(id_),
                                         net::CollKind::Scatter, bytes,
-                                        net::Dtype::Byte)});
+                                        net::Dtype::Byte, root)});
 }
 
 AwaitOps Rank::barrier(Comm& comm) {
@@ -238,24 +254,28 @@ AwaitOps Rank::barrier(Comm& comm) {
 }
 AwaitOps Rank::bcast(Comm& comm, double bytes, int root) {
   ++stats_.collectives;
-  (void)root;  // timing is root-independent in the analytic model
+  // Timing is root-independent in the analytic model, but the verifier
+  // still checks that all ranks agree on the root.
   return AwaitOps(
       *sim_, *this,
       {sim_->joinCollective(comm, comm.commRankOf(id_), net::CollKind::Bcast,
-                            bytes, net::Dtype::Byte)});
+                            bytes, net::Dtype::Byte, root)});
 }
-AwaitOps Rank::reduce(Comm& comm, double bytes, int root, net::Dtype dt) {
-  ++stats_.collectives;
-  (void)root;
-  return AwaitOps(*sim_, *this,
-                  {sim_->joinCollective(comm, comm.commRankOf(id_),
-                                        net::CollKind::Reduce, bytes, dt)});
-}
-AwaitOps Rank::allreduce(Comm& comm, double bytes, net::Dtype dt) {
+AwaitOps Rank::reduce(Comm& comm, double bytes, int root, net::Dtype dt,
+                      ReduceOp op) {
   ++stats_.collectives;
   return AwaitOps(*sim_, *this,
                   {sim_->joinCollective(comm, comm.commRankOf(id_),
-                                        net::CollKind::Allreduce, bytes, dt)});
+                                        net::CollKind::Reduce, bytes, dt,
+                                        root, op)});
+}
+AwaitOps Rank::allreduce(Comm& comm, double bytes, net::Dtype dt,
+                         ReduceOp op) {
+  ++stats_.collectives;
+  return AwaitOps(*sim_, *this,
+                  {sim_->joinCollective(comm, comm.commRankOf(id_),
+                                        net::CollKind::Allreduce, bytes, dt,
+                                        -1, op)});
 }
 AwaitOps Rank::allgather(Comm& comm, double bytesPerRank) {
   ++stats_.collectives;

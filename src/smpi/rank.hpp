@@ -106,19 +106,26 @@ class Rank {
   AwaitCompute compute(const arch::Work& w);
 
   // ---- point-to-point (world communicator) ----------------------------------
+  /// Receives may declare the payload size they expect (`expectedBytes`,
+  /// < 0 = unchecked); with the verifier enabled, a sender whose size
+  /// disagrees is reported as a p2p count mismatch.
   Request isend(int dst, double bytes, int tag = 0);
-  Request irecv(int src = kAnySource, int tag = kAnyTag);
+  Request irecv(int src = kAnySource, int tag = kAnyTag,
+                double expectedBytes = -1.0);
   AwaitOps send(int dst, double bytes, int tag = 0);
-  AwaitOps recv(int src = kAnySource, int tag = kAnyTag);
+  AwaitOps recv(int src = kAnySource, int tag = kAnyTag,
+                double expectedBytes = -1.0);
   /// MPI_Sendrecv: both directions concurrently; resumes when both finish.
   AwaitOps sendrecv(int dst, double sendBytes, int src, int sendTag = 0,
                     int recvTag = kAnyTag);
 
   // ---- point-to-point (explicit communicator; ranks are comm ranks) ---------
   Request isend(Comm& comm, int dst, double bytes, int tag = 0);
-  Request irecv(Comm& comm, int src = kAnySource, int tag = kAnyTag);
+  Request irecv(Comm& comm, int src = kAnySource, int tag = kAnyTag,
+                double expectedBytes = -1.0);
   AwaitOps send(Comm& comm, int dst, double bytes, int tag = 0);
-  AwaitOps recv(Comm& comm, int src = kAnySource, int tag = kAnyTag);
+  AwaitOps recv(Comm& comm, int src = kAnySource, int tag = kAnyTag,
+                double expectedBytes = -1.0);
   AwaitOps sendrecv(Comm& comm, int dst, double sendBytes, int src,
                     int sendTag = 0, int recvTag = kAnyTag);
 
@@ -131,8 +138,10 @@ class Rank {
   AwaitOps barrier();
   AwaitOps bcast(double bytes, int root = 0);
   AwaitOps reduce(double bytes, int root = 0,
-                  net::Dtype dt = net::Dtype::Double);
-  AwaitOps allreduce(double bytes, net::Dtype dt = net::Dtype::Double);
+                  net::Dtype dt = net::Dtype::Double,
+                  ReduceOp op = ReduceOp::Sum);
+  AwaitOps allreduce(double bytes, net::Dtype dt = net::Dtype::Double,
+                     ReduceOp op = ReduceOp::Sum);
   AwaitOps allgather(double bytesPerRank);
   AwaitOps alltoall(double bytesPerPair);
   AwaitOps gather(double bytes, int root = 0);
@@ -141,9 +150,11 @@ class Rank {
   AwaitOps barrier(Comm& comm);
   AwaitOps bcast(Comm& comm, double bytes, int root = 0);
   AwaitOps reduce(Comm& comm, double bytes, int root = 0,
-                  net::Dtype dt = net::Dtype::Double);
+                  net::Dtype dt = net::Dtype::Double,
+                  ReduceOp op = ReduceOp::Sum);
   AwaitOps allreduce(Comm& comm, double bytes,
-                     net::Dtype dt = net::Dtype::Double);
+                     net::Dtype dt = net::Dtype::Double,
+                     ReduceOp op = ReduceOp::Sum);
   AwaitOps allgather(Comm& comm, double bytesPerRank);
   AwaitOps alltoall(Comm& comm, double bytesPerPair);
 
@@ -157,6 +168,11 @@ class Rank {
 
   /// What this rank is currently blocked on (deadlock diagnostics).
   const char* blockedOn() const { return blockedOn_; }
+
+  /// The request list this rank is suspended on, or null when running —
+  /// the wait-chain deadlock reporter walks these to build the wait-for
+  /// graph.  Valid only while the rank is blocked.
+  const std::vector<Request>* pendingOps() const { return pendingOps_; }
 
   /// Activity counters accumulated so far.
   const RankStats& stats() const { return stats_; }
@@ -175,6 +191,7 @@ class Rank {
   int id_ = -1;
   Rng rng_;
   const char* blockedOn_ = nullptr;
+  const std::vector<Request>* pendingOps_ = nullptr;
   RankStats stats_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <string_view>
+#include <unordered_map>
 
 #include "support/expect.hpp"
 
@@ -25,6 +27,53 @@ Simulation::Simulation(arch::MachineConfig machine, std::int64_t nranks,
   }
 }
 
+void Simulation::setFaults(const sim::FaultConfig& config) {
+  BGP_REQUIRE_MSG(!ran_, "setFaults must be called before run()");
+  if (!config.any()) {  // all knobs zero: byte-identical to a perfect machine
+    system_->torusNetwork().attachFaults(nullptr);
+    faults_.reset();
+    return;
+  }
+  const topo::Torus3D& torus = system_->torusNetwork().torus();
+  faults_ = std::make_unique<sim::FaultPlane>(
+      config, static_cast<std::size_t>(torus.linkCount()),
+      static_cast<std::size_t>(torus.count()));
+  system_->torusNetwork().attachFaults(faults_.get());
+}
+
+double Simulation::slowdownFor(int worldRank) const {
+  if (!faults_) return 1.0;
+  return faults_->nodeSlowdown(
+      static_cast<std::size_t>(system_->nodeOf(worldRank)));
+}
+
+double Simulation::computeTimeFor(const arch::Work& w, int worldRank) const {
+  return system_->computeTime(w, slowdownFor(worldRank));
+}
+
+double Simulation::faultNoise() const {
+  return faults_ ? faults_->osNoiseFraction() : 0.0;
+}
+
+void Simulation::checkAlive(int worldRank) const {
+  if (!faults_) return;
+  const topo::NodeId node = system_->nodeOf(worldRank);
+  const sim::SimTime failAt =
+      faults_->failStopTime(static_cast<std::size_t>(node));
+  if (engine_.now() >= failAt) {
+    std::ostringstream os;
+    os << "rank " << worldRank << " fail-stopped: node " << node
+       << " failed at t=" << failAt << " s";
+    throw sim::FaultError(os.str());
+  }
+}
+
+Verifier& Simulation::enableVerifier(VerifierOptions options) {
+  BGP_REQUIRE_MSG(!ran_, "enableVerifier must be called before run()");
+  verifier_ = std::make_unique<Verifier>(options);
+  return *verifier_;
+}
+
 RunResult Simulation::run(const RankProgram& program) {
   BGP_REQUIRE_MSG(!ran_, "Simulation::run may be called once");
   ran_ = true;
@@ -41,7 +90,37 @@ RunResult Simulation::run(const RankProgram& program) {
   }
   engine_.run();
 
-  for (auto& task : tasks) task.rethrowIfFailed();
+  // Rank failures take priority over the deadlock report: a crashed rank is
+  // usually *why* its peers are still blocked.  One failure rethrows the
+  // original exception (callers keep precise types to catch); two or more
+  // are aggregated so no rank's bug is masked by another's.
+  std::vector<std::pair<int, std::exception_ptr>> failures;
+  for (std::int64_t i = 0; i < nranks_; ++i) {
+    try {
+      tasks[static_cast<std::size_t>(i)].rethrowIfFailed();
+    } catch (...) {
+      failures.emplace_back(static_cast<int>(i), std::current_exception());
+    }
+  }
+  if (failures.size() == 1) std::rethrow_exception(failures.front().second);
+  if (failures.size() > 1) {
+    std::ostringstream os;
+    os << failures.size() << " ranks failed:";
+    std::vector<int> failedRanks;
+    failedRanks.reserve(failures.size());
+    for (const auto& [rank, eptr] : failures) {
+      failedRanks.push_back(rank);
+      os << "\n  rank " << rank << ": ";
+      try {
+        std::rethrow_exception(eptr);
+      } catch (const std::exception& e) {
+        os << e.what();
+      } catch (...) {
+        os << "unknown exception";
+      }
+    }
+    throw RankFailures(os.str(), std::move(failedRanks));
+  }
 
   std::vector<int> blocked;
   for (std::int64_t i = 0; i < nranks_; ++i)
@@ -56,7 +135,15 @@ RunResult Simulation::run(const RankProgram& program) {
       os << " rank " << blocked[i] << " on "
          << (r.blockedOn() ? r.blockedOn() : "?") << ";";
     }
+    os << deadlockCycleReport();
     throw DeadlockError(os.str());
+  }
+
+  if (verifier_) {
+    std::vector<const Comm*> comms;
+    comms.push_back(world_.get());
+    for (const auto& c : subComms_) comms.push_back(c.get());
+    verifier_->finalize(comms);
   }
 
   RunResult result;
@@ -139,6 +226,97 @@ bool Simulation::matches(int wantedSrc, int wantedTag, int src, int tag) {
          (wantedTag == kAnyTag || wantedTag == tag);
 }
 
+std::string Simulation::describeOp(const OpState& op) {
+  std::ostringstream os;
+  const std::string_view what = op.what;
+  os << what << "(";
+  if (what == "collective") {
+    os << "#" << op.collSeq;
+  } else if (what == "send") {
+    os << "dst=" << op.peer << ", tag=" << op.tag;
+  } else {
+    os << "src="
+       << (op.peer == kAnySource ? std::string("ANY")
+                                 : std::to_string(op.peer))
+       << ", tag="
+       << (op.tag == kAnyTag ? std::string("ANY") : std::to_string(op.tag));
+  }
+  os << ", comm " << op.commId << ")";
+  return os.str();
+}
+
+std::string Simulation::deadlockCycleReport() const {
+  // Wait-for graph: each blocked rank gets one outgoing edge, derived from
+  // the first incomplete operation it is awaiting.  A recv waits for its
+  // (non-wildcard) source, a rendezvous send for its destination, and a
+  // collective for the first member that has not reached its gate yet.
+  auto commById = [this](int id) -> const Comm* {
+    if (id == 0) return world_.get();
+    for (const auto& c : subComms_)
+      if (c->id() == id) return c.get();
+    return nullptr;
+  };
+
+  const auto n = static_cast<std::size_t>(nranks_);
+  std::vector<int> succ(n, -1);
+  std::vector<const OpState*> via(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto* pending = ranks_[i].pendingOps();
+    if (!pending) continue;
+    for (const Request& op : *pending) {
+      if (!op || op->complete) continue;
+      const Comm* comm = commById(op->commId);
+      if (!comm) continue;
+      int next = -1;
+      if (std::string_view(op->what) == "collective") {
+        for (int cr = 0; cr < comm->size(); ++cr) {
+          const int w = comm->worldRank(cr);
+          if (w != static_cast<int>(i) &&
+              comm->nextCollSeq_[static_cast<std::size_t>(cr)] <=
+                  op->collSeq) {
+            next = w;
+            break;
+          }
+        }
+      } else if (op->peer >= 0) {
+        next = comm->worldRank(op->peer);
+      }
+      if (next >= 0 && next != static_cast<int>(i)) {
+        succ[i] = next;
+        via[i] = op.get();
+        break;
+      }
+    }
+  }
+
+  // Follow successor chains; the first revisit of an in-progress node
+  // closes a cycle.
+  std::vector<int> color(n, 0);  // 0 = new, 1 = on current chain, 2 = done
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    std::vector<int> path;
+    std::unordered_map<int, std::size_t> posInPath;
+    int cur = static_cast<int>(start);
+    while (cur >= 0 && color[static_cast<std::size_t>(cur)] == 0) {
+      color[static_cast<std::size_t>(cur)] = 1;
+      posInPath[cur] = path.size();
+      path.push_back(cur);
+      cur = succ[static_cast<std::size_t>(cur)];
+    }
+    if (cur >= 0 && color[static_cast<std::size_t>(cur)] == 1) {
+      std::ostringstream os;
+      os << " blocking cycle:";
+      for (std::size_t k = posInPath[cur]; k < path.size(); ++k)
+        os << " rank " << path[k] << ": "
+           << describeOp(*via[static_cast<std::size_t>(path[k])]) << " ->";
+      os << " rank " << cur;
+      return os.str();
+    }
+    for (int p : path) color[static_cast<std::size_t>(p)] = 2;
+  }
+  return {};
+}
+
 Request Simulation::startSend(int worldSrc, Comm& comm, int dstCommRank,
                               double bytes, int tag) {
   BGP_REQUIRE(bytes >= 0);
@@ -147,8 +325,15 @@ Request Simulation::startSend(int worldSrc, Comm& comm, int dstCommRank,
   BGP_REQUIRE_MSG(srcCommRank >= 0, "sender not in communicator");
   BGP_REQUIRE_MSG(dstCommRank >= 0 && dstCommRank < comm.size(),
                   "destination rank out of range");
+  checkAlive(worldSrc);
   auto op = std::make_shared<OpState>();
   op->what = "send";
+  op->ownerWorld = worldSrc;
+  op->peer = dstCommRank;
+  op->tag = tag;
+  op->commId = comm.id();
+  op->bytes = bytes;
+  if (verifier_) verifier_->onSend(op);
 
   const int worldDst = comm.worldRank(dstCommRank);
   const topo::NodeId srcNode = system_->nodeOf(worldSrc);
@@ -183,6 +368,9 @@ void Simulation::deliverEager(Comm& comm, int src, int dst, int tag,
     if (matches(it->src, it->tag, src, tag)) {
       Request op = it->op;
       posted.erase(it);
+      if (verifier_)
+        verifier_->onRecvMatched(comm, src, dst, tag, op->expectedBytes,
+                                 bytes);
       op->info = RecvInfo{src, tag, bytes};
       op->finish();
       return;
@@ -199,6 +387,9 @@ void Simulation::arriveRts(Comm& comm, int src, int dst, int tag,
     if (matches(it->src, it->tag, src, tag)) {
       Request recvOp = it->op;
       posted.erase(it);
+      if (verifier_)
+        verifier_->onRecvMatched(comm, src, dst, tag, recvOp->expectedBytes,
+                                 bytes);
       startRendezvousData(comm, src, dst, tag, bytes, sendOp, recvOp);
       return;
     }
@@ -227,20 +418,30 @@ void Simulation::startRendezvousData(Comm& comm, int src, int dst, int tag,
 }
 
 Request Simulation::postRecv(int worldDst, Comm& comm, int srcWanted,
-                             int tagWanted) {
+                             int tagWanted, double expectedBytes) {
   const int dst = comm.commRankOf(worldDst);
   BGP_REQUIRE_MSG(dst >= 0, "receiver not in communicator");
   BGP_REQUIRE_MSG(srcWanted == kAnySource ||
                       (srcWanted >= 0 && srcWanted < comm.size()),
                   "source rank out of range");
+  checkAlive(worldDst);
   auto op = std::make_shared<OpState>();
   op->what = "recv";
+  op->ownerWorld = worldDst;
+  op->peer = srcWanted;
+  op->tag = tagWanted;
+  op->commId = comm.id();
+  op->expectedBytes = expectedBytes;
+  if (verifier_) verifier_->onRecv(op);
 
   auto& staged = comm.staged_[static_cast<std::size_t>(dst)];
   for (auto it = staged.begin(); it != staged.end(); ++it) {
     if (matches(srcWanted, tagWanted, it->src, it->tag)) {
       const Comm::StagedMsg msg = *it;
       staged.erase(it);
+      if (verifier_)
+        verifier_->onRecvMatched(comm, msg.src, dst, msg.tag, expectedBytes,
+                                 msg.bytes);
       if (msg.rendezvous) {
         startRendezvousData(comm, msg.src, dst, msg.tag, msg.bytes,
                             msg.sendOp, op);
@@ -258,17 +459,27 @@ Request Simulation::postRecv(int worldDst, Comm& comm, int srcWanted,
 
 Request Simulation::joinCollective(Comm& comm, int commRank,
                                    net::CollKind kind, double bytes,
-                                   net::Dtype dt) {
+                                   net::Dtype dt, int root, ReduceOp rop) {
   BGP_REQUIRE(commRank >= 0 && commRank < comm.size());
+  checkAlive(comm.worldRank(commRank));
   auto op = std::make_shared<OpState>();
   op->what = "collective";
+  op->ownerWorld = comm.worldRank(commRank);
+  op->commId = comm.id();
+  op->bytes = bytes;
 
   const std::uint64_t seq =
       comm.nextCollSeq_[static_cast<std::size_t>(commRank)]++;
+  op->collSeq = seq;
+  if (verifier_)
+    verifier_->onCollective(comm, seq, commRank, kind, root, rop, dt, bytes);
   auto& gate = comm.colls_[seq];
   if (gate.arrived == 0) {
     gate.kind = kind;
     gate.dt = dt;
+    gate.root = root;
+    gate.rop = rop;
+    gate.firstRank = commRank;
   } else {
     BGP_REQUIRE_MSG(gate.kind == kind,
                     "collective mismatch: ranks disagree on operation " +

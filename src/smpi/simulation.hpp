@@ -8,10 +8,12 @@
 
 #include "net/system.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/task.hpp"
 #include "smpi/comm.hpp"
 #include "smpi/rank.hpp"
 #include "smpi/types.hpp"
+#include "smpi/verifier.hpp"
 
 namespace bgp::smpi {
 
@@ -24,8 +26,9 @@ class Simulation {
              net::SystemOptions options = {}, std::uint64_t seed = 0x5eed);
 
   /// Runs `program` on every rank to completion; may be called once.
-  /// Throws DeadlockError if ranks block forever, and rethrows the first
-  /// exception any rank program raised.
+  /// Throws DeadlockError (with a wait-chain cycle report) if ranks block
+  /// forever.  If exactly one rank program raised, its exception is
+  /// rethrown unchanged; if several did, a RankFailures aggregates them.
   RunResult run(const RankProgram& program);
 
   net::System& system() { return *system_; }
@@ -68,12 +71,41 @@ class Simulation {
     return system_->computeTime(w);
   }
 
+  // ---- fault injection -----------------------------------------------------
+  /// Installs a deterministic fault plane (call before run()).  A config
+  /// with every knob at zero is a no-op and leaves all timing byte-exact.
+  void setFaults(const sim::FaultConfig& config);
+  const sim::FaultPlane* faults() const { return faults_.get(); }
+
+  /// Compute time for `w` on `worldRank`'s node, including any straggler
+  /// slowdown from the fault plane.
+  double computeTimeFor(const arch::Work& w, int worldRank) const;
+  /// Straggler multiplier for `worldRank` (1.0 without faults).
+  double slowdownFor(int worldRank) const;
+  /// Extra OS-noise fraction contributed by the fault plane.
+  double faultNoise() const;
+  /// Throws sim::FaultError if `worldRank`'s node fail-stopped before now.
+  void checkAlive(int worldRank) const;
+
+  // ---- correctness verifier ------------------------------------------------
+  /// Enables the runtime MPI correctness verifier (call before run()).
+  Verifier& enableVerifier(VerifierOptions options = {});
+  Verifier* verifier() { return verifier_.get(); }
+
+  /// Aborts run() with WatchdogError once either budget is exceeded
+  /// (0 = unlimited); forwards to sim::Engine::setWatchdog.
+  void setWatchdog(std::uint64_t maxEvents, sim::SimTime maxSimSeconds) {
+    engine_.setWatchdog(maxEvents, maxSimSeconds);
+  }
+
   // ---- runtime internals used by Rank/awaitables ---------------------------
   Request startSend(int worldSrc, Comm& comm, int dstCommRank, double bytes,
                     int tag);
-  Request postRecv(int worldDst, Comm& comm, int srcWanted, int tagWanted);
+  Request postRecv(int worldDst, Comm& comm, int srcWanted, int tagWanted,
+                   double expectedBytes = -1.0);
   Request joinCollective(Comm& comm, int commRank, net::CollKind kind,
-                         double bytes, net::Dtype dt);
+                         double bytes, net::Dtype dt, int root = -1,
+                         ReduceOp rop = ReduceOp::None);
 
  private:
   struct Match;
@@ -84,6 +116,10 @@ class Simulation {
                            double bytes, const Request& sendOp,
                            const Request& recvOp);
   static bool matches(int wantedSrc, int wantedTag, int src, int tag);
+  /// "rank 3: recv(src=1, tag=7, comm 0)" for wait-chain reports.
+  static std::string describeOp(const OpState& op);
+  /// Appends a wait-for-graph cycle (if one exists) to deadlock reports.
+  std::string deadlockCycleReport() const;
 
   arch::MachineConfig machine_;
   std::int64_t nranks_;
@@ -93,6 +129,8 @@ class Simulation {
   std::deque<std::unique_ptr<Comm>> subComms_;
   int nextCommId_ = 1;
   std::deque<Rank> ranks_;
+  std::unique_ptr<sim::FaultPlane> faults_;
+  std::unique_ptr<Verifier> verifier_;
   bool ran_ = false;
 };
 

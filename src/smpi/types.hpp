@@ -16,6 +16,22 @@ namespace bgp::smpi {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// Reduction operator of a reduce/allreduce (MPI_Op equivalent).  Purely
+/// semantic — the timing model is operator-independent — but the runtime
+/// verifier checks that all ranks of a collective agree on it.
+enum class ReduceOp { None, Sum, Min, Max, Prod };
+
+inline const char* toString(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::None: return "none";
+    case ReduceOp::Sum: return "sum";
+    case ReduceOp::Min: return "min";
+    case ReduceOp::Max: return "max";
+    case ReduceOp::Prod: return "prod";
+  }
+  return "?";
+}
+
 /// Completion info for a receive (MPI_Status equivalent).
 struct RecvInfo {
   int source = -1;
@@ -36,8 +52,18 @@ class OutOfMemoryError : public std::runtime_error {
 /// coroutines via the engine at the current simulated time.
 struct OpState {
   bool complete = false;
+  bool waited = false;  // a wait/waitAll/waitAny consumed this request
   RecvInfo info;
   const char* what = "op";  // for deadlock diagnostics
+
+  // ---- diagnostics, filled at creation (wait-chain reporter, verifier) ----
+  int ownerWorld = -1;          // world rank that created the operation
+  int peer = -1;                // comm rank of the counterparty (or wildcard)
+  int tag = -1;                 // tag (or kAnyTag for receives)
+  int commId = -1;              // communicator the op runs in
+  std::uint64_t collSeq = 0;    // collective sequence number (collectives)
+  double bytes = 0.0;           // message / collective payload size
+  double expectedBytes = -1.0;  // receive: declared expectation (<0 = none)
 
   void onComplete(std::function<void()> fn) {
     if (complete) {
@@ -60,6 +86,23 @@ struct OpState {
 
 /// Handle to a nonblocking operation (MPI_Request equivalent).
 using Request = std::shared_ptr<OpState>;
+
+/// Aggregate of every rank program that exited with an exception.  Thrown
+/// by Simulation::run when two or more ranks failed, so a multi-rank bug
+/// is reported whole instead of being masked by whichever rank the runner
+/// happened to inspect first.  A single failing rank rethrows its original
+/// exception unchanged (callers keep precise types to catch).
+class RankFailures : public std::runtime_error {
+ public:
+  RankFailures(const std::string& what, std::vector<int> ranks)
+      : std::runtime_error(what), ranks_(std::move(ranks)) {}
+
+  /// World ranks that failed, ascending.
+  const std::vector<int>& ranks() const { return ranks_; }
+
+ private:
+  std::vector<int> ranks_;
+};
 
 /// Result of Simulation::run().
 struct RunResult {

@@ -30,6 +30,14 @@ class DeadlockError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a simulation exceeds its configured event or simulated-time
+/// budget (sim::Engine::setWatchdog): a runaway run aborts with a
+/// diagnostic dump instead of spinning forever.
+class WatchdogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 [[noreturn]] inline void throwPrecondition(const char* expr, const char* file,
                                            int line, const std::string& msg) {

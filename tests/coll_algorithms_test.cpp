@@ -90,12 +90,18 @@ INSTANTIATE_TEST_SUITE_P(Sizes, AlgoSizes,
                          ::testing::Values(2, 3, 4, 7, 8, 16, 33, 64));
 
 TEST(Algo, RabenseifnerRequiresPow2) {
+  // Every rank trips the same precondition, so the failures arrive as one
+  // aggregated RankFailures report.
   Simulation sim(machineByName("XT4/QC"), 6);
-  EXPECT_THROW(sim.run([](Rank& self) -> sim::Task {
-                 co_await algo::allreduceRabenseifner(
-                     self, self.sim().world(), 4096);
-               }),
-               PreconditionError);
+  try {
+    sim.run([](Rank& self) -> sim::Task {
+      co_await algo::allreduceRabenseifner(self, self.sim().world(), 4096);
+    });
+    FAIL() << "expected RankFailures";
+  } catch (const RankFailures& e) {
+    EXPECT_EQ(static_cast<int>(e.ranks().size()), 6);
+    EXPECT_NE(std::string(e.what()).find("power-of-two"), std::string::npos);
+  }
 }
 
 TEST(Algo, RabenseifnerCompletesPow2) {

@@ -153,6 +153,50 @@ TEST(Smpi, AnySourceReceives) {
   EXPECT_EQ(gotFrom, 0);
 }
 
+TEST(Smpi, AnySourceSimultaneousArrivalsMatchFifo) {
+  // Four VN-mode ranks share one node, so sends from ranks 1..3 to rank 0
+  // traverse the identical shared-memory path and arrive at the same
+  // simulated instant.  The engine breaks the tie FIFO by event-insertion
+  // order — send initiation order — so ANY_SOURCE receives must observe
+  // sources 1, 2, 3 on every run.  This pins the determinism audited for
+  // wildcard matching: simultaneous arrivals never reorder.
+  Simulation sim(machineByName("BG/P"), 4, vnOpts());
+  std::vector<int> sources;
+  sim.run([&](Rank& self) -> sim::Task {
+    if (self.id() == 0) {
+      for (int i = 0; i < 3; ++i) {
+        const RecvInfo info = co_await self.recv(kAnySource, kAnyTag);
+        sources.push_back(info.source);
+      }
+    } else {
+      co_await self.send(0, 64, 5);
+    }
+  });
+  EXPECT_EQ(sources, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Smpi, AnyTagDrainsStagedMessagesFifo) {
+  // Messages staged before the receiver posts are drained in arrival
+  // order: a single sender's tags come back in the order they were sent,
+  // even though every ANY_TAG wildcard could match any of them.
+  Simulation sim(machineByName("BG/P"), 2, vnOpts());
+  std::vector<int> tags;
+  sim.run([&](Rank& self) -> sim::Task {
+    if (self.id() == 1) {
+      std::vector<Request> sends;
+      for (int tag : {7, 8, 9}) sends.push_back(self.isend(0, 64, tag));
+      co_await self.waitAll(std::move(sends));
+    } else {
+      co_await self.compute(1e-3);  // let all three messages stage
+      for (int i = 0; i < 3; ++i) {
+        const RecvInfo info = co_await self.recv(kAnySource, kAnyTag);
+        tags.push_back(info.tag);
+      }
+    }
+  });
+  EXPECT_EQ(tags, (std::vector<int>{7, 8, 9}));
+}
+
 TEST(Smpi, RendezvousWaitsForReceiver) {
   // A rendezvous-size blocking send cannot complete before the receiver
   // posts; with a late receiver the sender finishes ~ at the recv time.
@@ -459,19 +503,31 @@ TEST(Smpi, WaitAnyRejectsEmpty) {
 }
 
 TEST(Smpi, SendToOutOfRangeRankRejected) {
+  // Both ranks hit the same precondition, so the failures arrive
+  // aggregated; the report still carries the original message.
   Simulation sim(machineByName("BG/P"), 2);
-  EXPECT_THROW(sim.run([](Rank& self) -> sim::Task {
-                 co_await self.send(5, 8);  // only 2 ranks
-               }),
-               PreconditionError);
+  try {
+    sim.run([](Rank& self) -> sim::Task {
+      co_await self.send(5, 8);  // only 2 ranks
+    });
+    FAIL() << "expected RankFailures";
+  } catch (const RankFailures& e) {
+    EXPECT_EQ(e.ranks(), (std::vector<int>{0, 1}));
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
 }
 
 TEST(Smpi, NegativeTagRejected) {
   Simulation sim(machineByName("BG/P"), 2);
-  EXPECT_THROW(sim.run([](Rank& self) -> sim::Task {
-                 co_await self.send(1 - self.id(), 8, -3);
-               }),
-               PreconditionError);
+  try {
+    sim.run([](Rank& self) -> sim::Task {
+      co_await self.send(1 - self.id(), 8, -3);
+    });
+    FAIL() << "expected RankFailures";
+  } catch (const RankFailures& e) {
+    EXPECT_EQ(e.ranks(), (std::vector<int>{0, 1}));
+    EXPECT_NE(std::string(e.what()).find("non-negative"), std::string::npos);
+  }
 }
 
 TEST(Smpi, OsNoiseJittersXtComputeOnly) {
