@@ -1,8 +1,15 @@
 #pragma once
 // Shared plumbing for the table/figure harnesses: CLI flags (--full for
-// the paper's complete sweeps, --csv for machine-readable output) and
-// output helpers.
+// the paper's complete sweeps, --csv for machine-readable output,
+// --threads=N to size the scenario thread pool) and output helpers.
+//
+// Wall-time reporting goes to stderr so stdout stays byte-identical across
+// runs and thread counts — figure/CSV output can be diffed while stderr
+// carries the per-figure and per-bench timings.
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,23 +20,49 @@
 
 namespace bgp::bench {
 
+using WallClock = std::chrono::steady_clock;
+
+inline WallClock::time_point& benchStart() {
+  static WallClock::time_point start = WallClock::now();
+  return start;
+}
+
+inline double secondsSince(WallClock::time_point t) {
+  return std::chrono::duration<double>(WallClock::now() - t).count();
+}
+
 struct BenchOptions {
   bool full = false;  // run the paper's complete parameter sweeps
   bool csv = false;   // emit CSV after each table
 
   static BenchOptions parse(int argc, const char* const* argv) {
+    benchStart();  // anchor the per-bench wall clock
     const Cli cli(argc, argv);
     BenchOptions o;
     o.full = cli.getBool("full");
     o.csv = cli.getBool("csv");
+    // --threads=N (or --serial) sizes the scenario pool before its lazy
+    // first use; BGP_THREADS from the environment is the fallback.
+    long threads = cli.getInt("threads", 0);
+    if (cli.getBool("serial")) threads = 1;
+    if (threads > 0)
+      ::setenv("BGP_THREADS", std::to_string(threads).c_str(), 1);
+    std::atexit(+[] {
+      std::fprintf(stderr, "[wall] bench total: %.2f s\n",
+                   secondsSince(benchStart()));
+    });
     return o;
   }
 };
 
 inline void emit(const core::Figure& fig, const BenchOptions& opts,
                  const char* fmt = "%.4g") {
+  static WallClock::time_point last = benchStart();
   fig.print(std::cout, fmt);
   if (opts.csv) fig.printCsv(std::cout);
+  std::fprintf(stderr, "[wall] %s: %.2f s\n", fig.title().c_str(),
+               secondsSince(last));
+  last = WallClock::now();
 }
 
 inline void note(const std::string& text) {

@@ -64,12 +64,15 @@ int main(int argc, char** argv) {
     auto& bc = fig.addSeries("baroclinic");
     auto& bt = fig.addSeries("barotropic");
     auto& bar = fig.addSeries("timing barrier");
-    for (double p : procs) {
-      const auto r = popSyd("BG/P", p, arch::ExecMode::VN,
-                            PopSolver::ChronopoulosGear, true);
-      bc.points.push_back({p, r.baroclinicSeconds});
-      bt.points.push_back({p, r.barotropicSeconds});
-      bar.points.push_back({p, r.barrierSeconds});
+    const auto results =
+        core::parallelMap<apps::PopResult>(procs.size(), [&](std::size_t i) {
+          return popSyd("BG/P", procs[i], arch::ExecMode::VN,
+                        PopSolver::ChronopoulosGear, true);
+        });
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      bc.points.push_back({procs[i], results[i].baroclinicSeconds});
+      bt.points.push_back({procs[i], results[i].barotropicSeconds});
+      bar.points.push_back({procs[i], results[i].barrierSeconds});
     }
     bench::emit(fig, opts, "%.2f");
   }
@@ -103,16 +106,24 @@ int main(int argc, char** argv) {
     auto& bgpBt = fig.addSeries("BG/P barotropic");
     auto& xtBc = fig.addSeries("XT4 baroclinic");
     auto& xtBt = fig.addSeries("XT4 barotropic");
-    for (double p : procs) {
-      const auto b = popSyd("BG/P", p, arch::ExecMode::VN,
-                            PopSolver::ChronopoulosGear, true);
-      bgpBc.points.push_back({p, b.baroclinicSeconds});
-      bgpBt.points.push_back({p, b.barotropicSeconds});
+    const auto bgpRes =
+        core::parallelMap<apps::PopResult>(procs.size(), [&](std::size_t i) {
+          return popSyd("BG/P", procs[i], arch::ExecMode::VN,
+                        PopSolver::ChronopoulosGear, true);
+        });
+    const auto xtRes =
+        core::parallelMap<apps::PopResult>(procs.size(), [&](std::size_t i) {
+          if (procs[i] > 24000) return apps::PopResult{};
+          return popSyd("XT4/DC", procs[i], arch::ExecMode::VN,
+                        PopSolver::StandardCG, false);
+        });
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      const double p = procs[i];
+      bgpBc.points.push_back({p, bgpRes[i].baroclinicSeconds});
+      bgpBt.points.push_back({p, bgpRes[i].barotropicSeconds});
       if (p <= 24000) {
-        const auto x = popSyd("XT4/DC", p, arch::ExecMode::VN,
-                              PopSolver::StandardCG, false);
-        xtBc.points.push_back({p, x.baroclinicSeconds});
-        xtBt.points.push_back({p, x.barotropicSeconds});
+        xtBc.points.push_back({p, xtRes[i].baroclinicSeconds});
+        xtBt.points.push_back({p, xtRes[i].barotropicSeconds});
       }
     }
     bench::emit(fig, opts, "%.2f");

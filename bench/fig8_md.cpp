@@ -43,12 +43,15 @@ int main(int argc, char** argv) {
       auto& s = fig.addSeries(m);
       apps::MdConfig base{arch::machineByName(m), apps::MdCode::LAMMPS, 64};
       const double t64 = apps::runMd(base).secondsPerStep;
-      for (double p : ranks) {
-        apps::MdConfig c{arch::machineByName(m), apps::MdCode::LAMMPS,
-                         static_cast<int>(p)};
+      const auto perStep =
+          core::parallelMap<double>(ranks.size(), [&](std::size_t i) {
+            apps::MdConfig c{arch::machineByName(m), apps::MdCode::LAMMPS,
+                             static_cast<int>(ranks[i])};
+            return apps::runMd(c).secondsPerStep;
+          });
+      for (std::size_t i = 0; i < ranks.size(); ++i)
         s.points.push_back(
-            {p, t64 * 64.0 / (apps::runMd(c).secondsPerStep * p)});
-      }
+            {ranks[i], t64 * 64.0 / (perStep[i] * ranks[i])});
     }
     bench::emit(fig, opts, "%.3f");
   }

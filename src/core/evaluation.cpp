@@ -109,6 +109,27 @@ void Figure::printCsv(std::ostream& os) const {
 
 void sweep(Series& out, const std::vector<double>& xs,
            const std::function<double(double)>& fn) {
+  // Evaluate every point concurrently, then append the valid ones in x
+  // order so the resulting series is byte-identical to the serial sweep.
+  struct Cell {
+    double y = 0.0;
+    bool valid = false;
+  };
+  std::vector<Cell> cells(xs.size());
+  support::ThreadPool::global().parallelFor(xs.size(), [&](std::size_t i) {
+    try {
+      const double y = fn(xs[i]);
+      cells[i] = Cell{y, std::isfinite(y)};
+    } catch (const std::exception&) {
+      // infeasible point (memory, divisibility, ...)
+    }
+  });
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    if (cells[i].valid) out.points.push_back(SeriesPoint{xs[i], cells[i].y});
+}
+
+void sweepSerial(Series& out, const std::vector<double>& xs,
+                 const std::function<double(double)>& fn) {
   for (double x : xs) {
     double y;
     try {

@@ -5,6 +5,7 @@
 // series a figure plots, and render them as aligned tables (and CSV)
 // whose rows/series mirror the paper's tables and figures.
 
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <iosfwd>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "arch/machines.hpp"
+#include "support/thread_pool.hpp"
 
 namespace bgp::core {
 
@@ -57,9 +59,29 @@ class Figure {
 
 /// Convenience: fills a series by evaluating `fn` at each x, skipping
 /// points where `fn` throws (e.g. infeasible configurations) or returns a
-/// non-finite value.
+/// non-finite value.  The points are evaluated concurrently on the shared
+/// scenario thread pool (each point builds its own Simulation, so points
+/// share no mutable state) and appended in x order — the series is
+/// byte-identical to what sweepSerial produces, just computed faster.
 void sweep(Series& out, const std::vector<double>& xs,
            const std::function<double(double)>& fn);
+
+/// The strictly sequential sweep (reference implementation; used by the
+/// determinism regression tests and available for debugging).
+void sweepSerial(Series& out, const std::vector<double>& xs,
+                 const std::function<double(double)>& fn);
+
+/// Evaluates fn(i) for i in [0, n) concurrently on the shared scenario
+/// pool and returns the results indexed by i — the parallel form of the
+/// hand-written scenario loops in the fig benches.  R must be default-
+/// constructible; `fn` must not share mutable state across calls.
+template <typename R, typename Fn>
+std::vector<R> parallelMap(std::size_t n, const Fn& fn) {
+  std::vector<R> out(n);
+  support::ThreadPool::global().parallelFor(
+      n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
 
 /// Standard process-count sweeps used throughout the benches.
 std::vector<double> powersOfTwo(int from, int to);

@@ -18,6 +18,9 @@ System::System(arch::MachineConfig machine, std::int64_t nranks,
   mapping_ = std::make_unique<topo::Mapping>(*torus_, tasksPerNode_,
                                              options.mappingOrder);
   BGP_CHECK(mapping_->maxRanks() >= nranks);
+  rankNode_.reserve(static_cast<std::size_t>(nranks));
+  for (std::int64_t r = 0; r < nranks; ++r)
+    rankNode_.push_back(mapping_->place(r).node);
 
   TorusParams tp;
   tp.linkBandwidth =

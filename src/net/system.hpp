@@ -4,6 +4,7 @@
 // simulated-MPI runtime and the analytic models both consume.
 
 #include <memory>
+#include <vector>
 
 #include "arch/exec_mode.hpp"
 #include "arch/machine.hpp"
@@ -49,9 +50,11 @@ class System {
   const CollectiveModel& collectives() const { return *collectives_; }
   const arch::NodeModel& nodeModel() const { return *nodeModel_; }
 
-  /// Node hosting a given MPI rank.
+  /// Node hosting a given MPI rank.  Precomputed: mapping_->place() is a
+  /// div/mod chain driven by the order string, and the runtime asks on
+  /// every message send/receive.
   topo::NodeId nodeOf(std::int64_t rank) const {
-    return mapping_->place(rank).node;
+    return rankNode_[static_cast<std::size_t>(rank)];
   }
 
   /// Time for one task to execute `w` (assumes all node task slots busy,
@@ -79,6 +82,7 @@ class System {
   double eagerThreshold_;
   std::unique_ptr<topo::Torus3D> torus_;
   std::unique_ptr<topo::Mapping> mapping_;
+  std::vector<topo::NodeId> rankNode_;  // rank -> hosting node, precomputed
   std::unique_ptr<TorusNetwork> torusNetwork_;
   std::unique_ptr<CollectiveModel> collectives_;
   std::unique_ptr<arch::NodeModel> nodeModel_;

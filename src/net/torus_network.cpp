@@ -7,23 +7,64 @@
 
 namespace bgp::net {
 
+namespace {
+
+/// Cache index mix: a splitmix64-style finalizer over the (src,dst) pair.
+inline std::size_t routeHash(topo::NodeId src, topo::NodeId dst) {
+  std::uint64_t z = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                     << 32) |
+                    static_cast<std::uint32_t>(dst);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<std::size_t>(z ^ (z >> 31));
+}
+
+constexpr std::array<int, 3> kAxisOrders[2] = {{0, 1, 2}, {2, 1, 0}};
+
+}  // namespace
+
 TorusNetwork::TorusNetwork(topo::Torus3D torus, TorusParams params)
     : torus_(std::move(torus)), params_(params) {
   BGP_REQUIRE(params.linkBandwidth > 0 && params.shmBandwidth > 0);
   BGP_REQUIRE(params.hopLatency >= 0 && params.swLatency >= 0);
   nextFree_.assign(static_cast<std::size_t>(torus_.linkCount()), 0.0);
+  // Size the per-order route tables to the smaller of 4096 entries and the
+  // next power of two covering every (src,dst) pair, so small test tori
+  // don't pay 256 KiB while production partitions get a deep cache.
+  std::size_t want = 1;
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(torus_.count()) *
+      static_cast<std::uint64_t>(torus_.count());
+  while (want < 4096 && want < pairs) want <<= 1;
+  routeCacheMask_ = want - 1;
+  for (auto& table : routeCache_) table.assign(want, RouteEntry{});
 }
 
-TorusNetwork::Walk TorusNetwork::walk(const std::vector<topo::LinkId>& links,
-                                      double bytes, sim::SimTime start,
-                                      bool commit) {
+const std::vector<topo::LinkId>& TorusNetwork::cachedRoute(topo::NodeId src,
+                                                           topo::NodeId dst,
+                                                           int order) {
+  RouteEntry& e = routeCache_[order][routeHash(src, dst) & routeCacheMask_];
+  if (e.src == src && e.dst == dst) {
+    ++routeHits_;
+    return e.links;
+  }
+  ++routeMisses_;
+  torus_.routeInto(src, dst, kAxisOrders[order], e.links);
+  e.src = src;
+  e.dst = dst;
+  return e.links;
+}
+
+TorusNetwork::Walk TorusNetwork::walk(const topo::LinkId* links,
+                                      std::size_t count, double bytes,
+                                      sim::SimTime start, bool commit) {
   const double serBase = bytes / params_.linkBandwidth;
   sim::SimTime head = start + params_.swLatency;
   sim::SimTime firstClaim = head;
   double serMax = serBase;
   bool first = true;
-  for (const topo::LinkId link : links) {
-    const auto li = static_cast<std::size_t>(link);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto li = static_cast<std::size_t>(links[i]);
     auto& free = nextFree_[li];
     double ser = serBase;
     sim::SimTime claim = params_.modelContention ? std::max(head, free) : head;
@@ -53,16 +94,20 @@ TorusNetwork::Transfer TorusNetwork::transfer(topo::NodeId src,
         start + params_.shmLatency + bytes / params_.shmBandwidth;
     return Transfer{done, done};
   }
-  std::vector<topo::LinkId> links = torus_.route(src, dst);
+  const std::vector<topo::LinkId>* links = &cachedRoute(src, dst, 0);
   if (params_.adaptiveRouting && params_.modelContention) {
     // Probe the alternative minimal route and take whichever delivers the
-    // head earlier under current congestion.
-    std::vector<topo::LinkId> alt = torus_.routeOrdered(src, dst, {2, 1, 0});
-    const Walk primary = walk(links, bytes, start, /*commit=*/false);
-    const Walk secondary = walk(alt, bytes, start, /*commit=*/false);
-    if (secondary.head < primary.head) links = std::move(alt);
+    // head earlier under current congestion.  Both candidates come from
+    // the cache, so the adaptive path allocates nothing per message.
+    const std::vector<topo::LinkId>* alt = &cachedRoute(src, dst, 1);
+    const Walk primary =
+        walk(links->data(), links->size(), bytes, start, /*commit=*/false);
+    const Walk secondary =
+        walk(alt->data(), alt->size(), bytes, start, /*commit=*/false);
+    if (secondary.head < primary.head) links = alt;
   }
-  const Walk w = walk(links, bytes, start, /*commit=*/true);
+  const Walk w =
+      walk(links->data(), links->size(), bytes, start, /*commit=*/true);
   bytesRouted_ += bytes;
   return Transfer{w.firstClaim + w.serMax, w.head + w.serMax + params_.swLatency};
 }

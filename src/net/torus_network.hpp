@@ -12,6 +12,7 @@
 // pairs onto the same physical links slow large halos down (Fig. 2c,d)
 // while small, latency-dominated halos don't care.
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -79,21 +80,46 @@ class TorusNetwork {
   /// Total bytes-on-wire scheduled so far (diagnostics).
   double bytesRouted() const { return bytesRouted_; }
 
+  /// Route-cache effectiveness counters (diagnostics / perf harness).
+  std::uint64_t routeCacheHits() const { return routeHits_; }
+  std::uint64_t routeCacheMisses() const { return routeMisses_; }
+
  private:
   struct Walk {
     sim::SimTime firstClaim;  // when the first link was claimed
     sim::SimTime head;        // when the message head reaches the far end
     double serMax;            // serialization time on the slowest link
   };
-  /// Walks `links`; claims capacity only when `commit` is true.
-  Walk walk(const std::vector<topo::LinkId>& links, double bytes,
+  /// Walks `links[0..count)`; claims capacity only when `commit` is true.
+  Walk walk(const topo::LinkId* links, std::size_t count, double bytes,
             sim::SimTime start, bool commit);
+
+  /// Returns the (src,dst) route for the given axis order (0 = XYZ,
+  /// 1 = ZYX) out of a direct-mapped cache.  Routes are pure geometry, so
+  /// caching cannot change timing — only skip the per-message route
+  /// recomputation and its allocation.  Each order has its own table, so
+  /// the adaptive path can hold both candidate routes at once; on a
+  /// conflict miss the evicted entry's vector capacity is reused as
+  /// scratch storage for the recomputed route.
+  const std::vector<topo::LinkId>& cachedRoute(topo::NodeId src,
+                                               topo::NodeId dst, int order);
+
+  struct RouteEntry {
+    topo::NodeId src = -1;  // -1 = empty
+    topo::NodeId dst = -1;
+    std::vector<topo::LinkId> links;
+  };
 
   topo::Torus3D torus_;
   TorusParams params_;
-  std::vector<sim::SimTime> nextFree_;  // per directed link
+  std::vector<sim::SimTime> nextFree_;  // per directed link (flat, link id
+                                        // indexed — the busy-time array)
   sim::FaultPlane* faults_ = nullptr;   // not owned; null = perfect machine
   double bytesRouted_ = 0.0;
+  std::vector<RouteEntry> routeCache_[2];  // [order], power-of-two sized
+  std::size_t routeCacheMask_ = 0;
+  std::uint64_t routeHits_ = 0;
+  std::uint64_t routeMisses_ = 0;
 };
 
 }  // namespace bgp::net

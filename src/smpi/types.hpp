@@ -65,11 +65,15 @@ struct OpState {
   double bytes = 0.0;           // message / collective payload size
   double expectedBytes = -1.0;  // receive: declared expectation (<0 = none)
 
-  void onComplete(std::function<void()> fn) {
+  // Continuations are SmallFn, not std::function: awaiter captures (~25-56
+  // bytes) overflow libstdc++'s inline buffer, and completions are hot
+  // enough that the per-await heap allocation showed up in sweep profiles.
+  template <typename F>
+  void onComplete(F&& fn) {
     if (complete) {
       fn();
     } else {
-      continuations_.push_back(std::move(fn));
+      continuations_.emplace_back(std::forward<F>(fn));
     }
   }
 
@@ -81,7 +85,7 @@ struct OpState {
   }
 
  private:
-  std::vector<std::function<void()>> continuations_;
+  std::vector<sim::SmallFn> continuations_;
 };
 
 /// Handle to a nonblocking operation (MPI_Request equivalent).

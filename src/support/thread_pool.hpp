@@ -1,0 +1,78 @@
+#pragma once
+// Work-stealing thread pool for running independent scenarios in parallel.
+//
+// The fig/bench sweeps run thousands of independent `smpi::Simulation`
+// instances (one per (machine, process-count, mode, ...) point); each owns
+// its Engine, RNG streams, and FaultPlane, so scenarios share no mutable
+// state and parallelize embarrassingly.  The pool keeps one deque per
+// worker: a worker pops its own deque LIFO (cache-warm) and steals FIFO
+// from a victim when empty, so a handful of long scenarios (large process
+// counts) cannot strand the other workers behind them.
+//
+// Determinism: `parallelFor` indexes results by scenario, so callers that
+// write `out[i]` observe exactly the serial result order no matter how the
+// workers interleave — byte-identical tables/CSVs, just faster (asserted
+// by tests/runner_test.cpp).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bgp::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 picks a hardware-based default (also
+  /// overridable via the BGP_THREADS environment variable).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs fn(0..n-1), distributing indices over the workers; returns when
+  /// every call finished.  The caller's thread participates, so the pool
+  /// also works with zero workers (serial fallback).  If any call throws,
+  /// one of the exceptions is rethrown here after all indices finish or
+  /// are abandoned.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Default worker count: BGP_THREADS if set, else hardware_concurrency.
+  static unsigned defaultThreads();
+
+  /// Process-wide shared pool, created on first use with defaultThreads().
+  static ThreadPool& global();
+
+ private:
+  struct Batch;   // one parallelFor invocation
+  struct Task;    // (batch, index) pair sitting in a deque
+  struct Worker;  // per-thread deque + lock
+
+  void workerLoop(std::size_t self);
+  /// Executes one index from `self`'s deque or a victim's; returns false
+  /// when no work could be found anywhere.
+  bool runOneTask(std::size_t self);
+  static void executeTask(const Task& t);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wakeMutex_;
+  std::condition_variable wake_;
+  std::atomic<bool> stop_{false};
+  /// Unclaimed tasks across all deques; guarded by wakeMutex_ (may run
+  /// transiently out of sync with the deques while a claim is in flight).
+  std::int64_t pendingTasks_ = 0;
+};
+
+}  // namespace bgp::support

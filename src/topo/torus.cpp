@@ -85,6 +85,14 @@ std::vector<LinkId> Torus3D::route(NodeId src, NodeId dst) const {
 
 std::vector<LinkId> Torus3D::routeOrdered(
     NodeId src, NodeId dst, const std::array<int, 3>& axisOrder) const {
+  std::vector<LinkId> links;
+  routeInto(src, dst, axisOrder, links);
+  return links;
+}
+
+void Torus3D::routeInto(NodeId src, NodeId dst,
+                        const std::array<int, 3>& axisOrder,
+                        std::vector<LinkId>& links) const {
   BGP_REQUIRE(src >= 0 && src < count() && dst >= 0 && dst < count());
   {
     std::array<bool, 3> seen{};
@@ -94,8 +102,8 @@ std::vector<LinkId> Torus3D::routeOrdered(
       seen[static_cast<std::size_t>(a)] = true;
     }
   }
-  std::vector<LinkId> links;
-  if (src == dst) return links;
+  links.clear();
+  if (src == dst) return;
   const Coord3 target = coordOf(dst);
   const Coord3 cur = coordOf(src);
   NodeId at = src;
@@ -117,7 +125,6 @@ std::vector<LinkId> Torus3D::routeOrdered(
     curAxisVal[axis] = targetVal[axis];
   }
   BGP_CHECK(at == dst);
-  return links;
 }
 
 std::int64_t Torus3D::bisectionLinkCount() const {

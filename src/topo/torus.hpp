@@ -70,6 +70,12 @@ class Torus3D {
   std::vector<LinkId> routeOrdered(NodeId src, NodeId dst,
                                    const std::array<int, 3>& axisOrder) const;
 
+  /// Allocation-free variant: clears `out` and fills it with the route.
+  /// The network hot path calls this into per-cache-entry scratch buffers
+  /// whose capacity is reused across messages.
+  void routeInto(NodeId src, NodeId dst, const std::array<int, 3>& axisOrder,
+                 std::vector<LinkId>& out) const;
+
   /// The neighbor of `n` one hop in direction `d`.
   NodeId neighbor(NodeId n, Dir d) const;
 
