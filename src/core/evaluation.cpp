@@ -109,6 +109,13 @@ void Figure::printCsv(std::ostream& os) const {
 
 void sweep(Series& out, const std::vector<double>& xs,
            const std::function<double(double)>& fn) {
+  // An effectively-serial pool (one core, or BGP_THREADS=1) makes the
+  // staging buffer pure overhead; run the serial sweep outright so both
+  // paths are literally the same code.
+  if (support::ThreadPool::global().threadCount() <= 1) {
+    sweepSerial(out, xs, fn);
+    return;
+  }
   // Evaluate every point concurrently, then append the valid ones in x
   // order so the resulting series is byte-identical to the serial sweep.
   struct Cell {

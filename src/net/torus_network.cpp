@@ -1,6 +1,7 @@
 #include "net/torus_network.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/fault.hpp"
 #include "support/expect.hpp"
@@ -28,27 +29,42 @@ TorusNetwork::TorusNetwork(topo::Torus3D torus, TorusParams params)
   BGP_REQUIRE(params.linkBandwidth > 0 && params.shmBandwidth > 0);
   BGP_REQUIRE(params.hopLatency >= 0 && params.swLatency >= 0);
   nextFree_.assign(static_cast<std::size_t>(torus_.linkCount()), 0.0);
-  // Size the per-order route tables to the smaller of 4096 entries and the
-  // next power of two covering every (src,dst) pair, so small test tori
-  // don't pay 256 KiB while production partitions get a deep cache.
-  std::size_t want = 1;
+  // Size the per-order route tables from the torus itself: the next power
+  // of two covering every (src,dst) pair, capped at 2^18 entries so even a
+  // 40960-node partition pays a few MiB, not gigabytes.  Two ways per set
+  // (adjacent entries) absorb the conflict misses that made a small
+  // direct-mapped table thrash on halo exchange neighbour sets.
   const std::uint64_t pairs =
       static_cast<std::uint64_t>(torus_.count()) *
       static_cast<std::uint64_t>(torus_.count());
-  while (want < 4096 && want < pairs) want <<= 1;
-  routeCacheMask_ = want - 1;
-  for (auto& table : routeCache_) table.assign(want, RouteEntry{});
+  const std::uint64_t capped =
+      std::min<std::uint64_t>(pairs, std::uint64_t{1} << 18);
+  std::size_t entries = 64;
+  while (entries < capped) entries <<= 1;
+  routeCacheSetMask_ = entries / 2 - 1;
+  for (auto& table : routeCache_) table.assign(entries, RouteEntry{});
 }
 
 const std::vector<topo::LinkId>& TorusNetwork::cachedRoute(topo::NodeId src,
                                                            topo::NodeId dst,
                                                            int order) {
-  RouteEntry& e = routeCache_[order][routeHash(src, dst) & routeCacheMask_];
-  if (e.src == src && e.dst == dst) {
+  // The two ways of a set sit adjacent, MRU first.  A hit in the second
+  // way swaps it forward; a miss swaps too (demoting the old MRU) and
+  // rebuilds into the evicted way, reusing its vector capacity as scratch.
+  RouteEntry* set =
+      &routeCache_[order][2 * (routeHash(src, dst) & routeCacheSetMask_)];
+  if (set[0].src == src && set[0].dst == dst) {
     ++routeHits_;
-    return e.links;
+    return set[0].links;
+  }
+  if (set[1].src == src && set[1].dst == dst) {
+    ++routeHits_;
+    std::swap(set[0], set[1]);
+    return set[0].links;
   }
   ++routeMisses_;
+  std::swap(set[0], set[1]);
+  RouteEntry& e = set[0];
   torus_.routeInto(src, dst, kAxisOrders[order], e.links);
   e.src = src;
   e.dst = dst;

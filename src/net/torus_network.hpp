@@ -95,12 +95,12 @@ class TorusNetwork {
             sim::SimTime start, bool commit);
 
   /// Returns the (src,dst) route for the given axis order (0 = XYZ,
-  /// 1 = ZYX) out of a direct-mapped cache.  Routes are pure geometry, so
-  /// caching cannot change timing — only skip the per-message route
-  /// recomputation and its allocation.  Each order has its own table, so
-  /// the adaptive path can hold both candidate routes at once; on a
-  /// conflict miss the evicted entry's vector capacity is reused as
-  /// scratch storage for the recomputed route.
+  /// 1 = ZYX) out of a 2-way set-associative cache.  Routes are pure
+  /// geometry, so caching cannot change timing — only skip the per-message
+  /// route recomputation and its allocation.  Each order has its own
+  /// table, so the adaptive path can hold both candidate routes at once;
+  /// on a conflict miss the LRU way is evicted and its vector capacity is
+  /// reused as scratch storage for the recomputed route.
   const std::vector<topo::LinkId>& cachedRoute(topo::NodeId src,
                                                topo::NodeId dst, int order);
 
@@ -116,8 +116,10 @@ class TorusNetwork {
                                         // indexed — the busy-time array)
   sim::FaultPlane* faults_ = nullptr;   // not owned; null = perfect machine
   double bytesRouted_ = 0.0;
-  std::vector<RouteEntry> routeCache_[2];  // [order], power-of-two sized
-  std::size_t routeCacheMask_ = 0;
+  /// Per-order tables laid out as adjacent 2-way sets: set s owns entries
+  /// 2s (MRU way) and 2s+1 (LRU way); ways swap on a second-way hit.
+  std::vector<RouteEntry> routeCache_[2];
+  std::size_t routeCacheSetMask_ = 0;
   std::uint64_t routeHits_ = 0;
   std::uint64_t routeMisses_ = 0;
 };

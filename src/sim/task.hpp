@@ -9,9 +9,10 @@
 
 #include <coroutine>
 #include <exception>
-#include <functional>
 #include <utility>
 
+#include "sim/small_function.hpp"
+#include "support/arena.hpp"
 #include "support/expect.hpp"
 
 namespace bgp::sim {
@@ -21,7 +22,17 @@ class Task {
   struct promise_type {
     bool finished = false;
     std::exception_ptr exception;
-    std::function<void()> onDone;  // set by the owner before first resume
+    SmallFn onDone;  // set by the owner before first resume
+
+    // Coroutine frames come from the thread arena: a 131k-rank world
+    // spawns one frame per rank up front, and the arena turns that burst
+    // (and the per-rank free at teardown) into bump-pointer traffic.
+    static void* operator new(std::size_t n) {
+      return support::arenaAllocate(n);
+    }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      support::arenaDeallocate(p, n);
+    }
 
     Task get_return_object() {
       return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
@@ -69,7 +80,7 @@ class Task {
   }
   /// Registers a callback invoked (once) when the coroutine completes or
   /// exits with an exception.  Must be set before the task first runs.
-  void setOnDone(std::function<void()> fn) {
+  void setOnDone(SmallFn fn) {
     BGP_REQUIRE(valid());
     handle_.promise().onDone = std::move(fn);
   }

@@ -3,7 +3,9 @@
 namespace bgp::smpi {
 
 Comm::Comm(int id, std::vector<int> members, int worldSize)
-    : id_(id), members_(std::move(members)) {
+    : id_(id),
+      members_(std::move(members)),
+      match_(static_cast<int>(members_.size())) {
   BGP_REQUIRE_MSG(!members_.empty(), "communicator cannot be empty");
   worldToComm_.assign(static_cast<std::size_t>(worldSize), -1);
   for (std::size_t i = 0; i < members_.size(); ++i) {
@@ -13,8 +15,6 @@ Comm::Comm(int id, std::vector<int> members, int worldSize)
                     "duplicate member in communicator");
     worldToComm_[static_cast<std::size_t>(w)] = static_cast<int>(i);
   }
-  postedRecvs_.resize(members_.size());
-  staged_.resize(members_.size());
   nextCollSeq_.assign(members_.size(), 0);
 }
 

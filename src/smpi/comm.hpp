@@ -5,11 +5,11 @@
 // sub-communicators.
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
 #include "net/collective_model.hpp"
+#include "smpi/match_table.hpp"
 #include "smpi/types.hpp"
 
 namespace bgp::smpi {
@@ -44,19 +44,11 @@ class Comm {
 
   Comm(int id, std::vector<int> members, int worldSize);
 
-  struct PostedRecv {
-    int src;  // wanted source (comm rank) or kAnySource
-    int tag;  // wanted tag or kAnyTag
-    Request op;
-  };
-  struct StagedMsg {
-    int src;  // sender comm rank
-    int tag;
-    double bytes;
-    bool rendezvous;     // true: this is an RTS, data not yet moved
-    Request sendOp;      // rendezvous only: sender completion to signal
-    sim::SimTime ready;  // eager: payload arrival; rendezvous: RTS arrival
-  };
+  /// Counter-based collective gate: every member rank of collective #seq
+  /// shares the single `op`; the last arrival schedules one completion
+  /// callback, whose finish() resumes the members in arrival order — the
+  /// same resume order, at the same simulated time, as the seed's
+  /// one-OpState-per-rank fan-out, at 1/size the allocations and events.
   struct CollGate {
     net::CollKind kind{};
     double bytes = 0.0;
@@ -66,15 +58,14 @@ class Comm {
     int firstRank = -1;  // comm rank that opened the gate (diagnostics)
     int arrived = 0;
     sim::SimTime lastArrival = 0.0;
-    std::vector<Request> ops;
+    Request op;  // shared by every member
   };
 
   int id_;
   std::vector<int> members_;      // commRank -> worldRank
   std::vector<int> worldToComm_;  // worldRank -> commRank or -1
-  std::vector<std::deque<PostedRecv>> postedRecvs_;  // per dst comm rank
-  std::vector<std::deque<StagedMsg>> staged_;        // per dst comm rank
-  std::vector<std::uint64_t> nextCollSeq_;           // per comm rank
+  MatchTable match_;              // posted receives + staged messages
+  std::vector<std::uint64_t> nextCollSeq_;  // per comm rank
   std::unordered_map<std::uint64_t, CollGate> colls_;
 };
 

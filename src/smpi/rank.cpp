@@ -29,8 +29,8 @@ void AwaitOps::await_suspend(std::coroutine_handle<> h) {
     sim_->engine().schedule(sim_->engine().now(), h);
     return;
   }
-  rank_->blockedOn_ = ops_.front()->what;
-  rank_->pendingOps_ = &ops_;
+  rank_->sim_->blockedOnOf(rank_->id_) = ops_.front()->what;
+  rank_->sim_->pendingOpsOf(rank_->id_) = &ops_;
   const double blockStart = sim_->engine().now();
   const bool collective =
       std::string_view(ops_.front()->what) == "collective";
@@ -39,15 +39,17 @@ void AwaitOps::await_suspend(std::coroutine_handle<> h) {
     op->onComplete([this, h, blockStart, collective] {
       BGP_CHECK(remaining_ > 0);
       if (--remaining_ == 0) {
-        rank_->blockedOn_ = nullptr;
-        rank_->pendingOps_ = nullptr;
-        const double waited = sim_->engine().now() - blockStart;
+        Simulation& sim = *sim_;
+        const int id = rank_->id_;
+        sim.blockedOnOf(id) = nullptr;
+        sim.pendingOpsOf(id) = nullptr;
+        const double waited = sim.engine().now() - blockStart;
         if (collective) {
-          rank_->stats_.collWaitSeconds += waited;
+          sim.statsOf(id).collWaitSeconds += waited;
         } else {
-          rank_->stats_.p2pWaitSeconds += waited;
+          sim.statsOf(id).p2pWaitSeconds += waited;
         }
-        sim_->engine().schedule(sim_->engine().now(), h);
+        sim.engine().schedule(sim.engine().now(), h);
       }
     });
   }
@@ -81,22 +83,22 @@ bool AwaitAny::await_ready() const {
 }
 
 void AwaitAny::await_suspend(std::coroutine_handle<> h) {
-  rank_->blockedOn_ = "waitany";
-  rank_->pendingOps_ = &ops_;
+  sim_->blockedOnOf(rank_->id_) = "waitany";
+  sim_->pendingOpsOf(rank_->id_) = &ops_;
   const double blockStart = sim_->engine().now();
-  Rank* rank = rank_;
+  const int id = rank_->id_;
   Simulation* sim = sim_;
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     // Continuations capture the shared state by value: they may run after
     // the awaiter (and even the coroutine) is gone, and must be inert
     // after the first completion fires.
-    ops_[i]->onComplete([shared = shared_, i, h, rank, sim, blockStart] {
+    ops_[i]->onComplete([shared = shared_, i, h, id, sim, blockStart] {
       if (shared->fired) return;
       shared->fired = true;
       shared->index = i;
-      rank->blockedOn_ = nullptr;
-      rank->pendingOps_ = nullptr;
-      rank->stats_.p2pWaitSeconds += sim->engine().now() - blockStart;
+      sim->blockedOnOf(id) = nullptr;
+      sim->pendingOpsOf(id) = nullptr;
+      sim->statsOf(id).p2pWaitSeconds += sim->engine().now() - blockStart;
       sim->engine().schedule(sim->engine().now(), h);
     });
   }
@@ -118,16 +120,24 @@ AwaitCompute::AwaitCompute(Simulation& sim, Rank& rank, double seconds)
 }
 
 void AwaitCompute::await_suspend(std::coroutine_handle<> h) {
-  rank_->blockedOn_ = "compute";
-  rank_->stats_.computeSeconds += seconds_;
+  sim_->blockedOnOf(rank_->id_) = "compute";
+  sim_->statsOf(rank_->id_).computeSeconds += seconds_;
   sim_->engine().scheduleCallback(sim_->engine().now() + seconds_,
                                   [this, h] {
-                                    rank_->blockedOn_ = nullptr;
+                                    sim_->blockedOnOf(rank_->id_) = nullptr;
                                     h.resume();
                                   });
 }
 
 // ---- Rank -------------------------------------------------------------------
+
+const char* Rank::blockedOn() const { return sim_->blockedOnOf(id_); }
+
+const std::vector<Request>* Rank::pendingOps() const {
+  return sim_->pendingOpsOf(id_);
+}
+
+const RankStats& Rank::stats() const { return sim_->statsOf(id_); }
 
 int Rank::size() const { return sim_->nranks(); }
 
@@ -161,13 +171,13 @@ Request Rank::irecv(int src, int tag, double expectedBytes) {
 }
 
 Request Rank::isend(Comm& comm, int dst, double bytes, int tag) {
-  ++stats_.sends;
-  stats_.bytesSent += bytes;
+  ++sim_->statsOf(id_).sends;
+  sim_->statsOf(id_).bytesSent += bytes;
   return sim_->startSend(id_, comm, dst, bytes, tag);
 }
 
 Request Rank::irecv(Comm& comm, int src, int tag, double expectedBytes) {
-  ++stats_.recvs;
+  ++sim_->statsOf(id_).recvs;
   return sim_->postRecv(id_, comm, src, tag, expectedBytes);
 }
 
@@ -229,7 +239,7 @@ AwaitOps Rank::alltoall(double bytesPerPair) {
   return alltoall(sim_->world(), bytesPerPair);
 }
 AwaitOps Rank::gather(double bytes, int root) {
-  ++stats_.collectives;
+  ++sim_->statsOf(id_).collectives;
   return AwaitOps(*sim_, *this,
                   {sim_->joinCollective(sim_->world(),
                                         sim_->world().commRankOf(id_),
@@ -237,7 +247,7 @@ AwaitOps Rank::gather(double bytes, int root) {
                                         net::Dtype::Byte, root)});
 }
 AwaitOps Rank::scatter(double bytes, int root) {
-  ++stats_.collectives;
+  ++sim_->statsOf(id_).collectives;
   return AwaitOps(*sim_, *this,
                   {sim_->joinCollective(sim_->world(),
                                         sim_->world().commRankOf(id_),
@@ -246,14 +256,14 @@ AwaitOps Rank::scatter(double bytes, int root) {
 }
 
 AwaitOps Rank::barrier(Comm& comm) {
-  ++stats_.collectives;
+  ++sim_->statsOf(id_).collectives;
   return AwaitOps(
       *sim_, *this,
       {sim_->joinCollective(comm, comm.commRankOf(id_),
                             net::CollKind::Barrier, 0, net::Dtype::Byte)});
 }
 AwaitOps Rank::bcast(Comm& comm, double bytes, int root) {
-  ++stats_.collectives;
+  ++sim_->statsOf(id_).collectives;
   // Timing is root-independent in the analytic model, but the verifier
   // still checks that all ranks agree on the root.
   return AwaitOps(
@@ -263,7 +273,7 @@ AwaitOps Rank::bcast(Comm& comm, double bytes, int root) {
 }
 AwaitOps Rank::reduce(Comm& comm, double bytes, int root, net::Dtype dt,
                       ReduceOp op) {
-  ++stats_.collectives;
+  ++sim_->statsOf(id_).collectives;
   return AwaitOps(*sim_, *this,
                   {sim_->joinCollective(comm, comm.commRankOf(id_),
                                         net::CollKind::Reduce, bytes, dt,
@@ -271,14 +281,14 @@ AwaitOps Rank::reduce(Comm& comm, double bytes, int root, net::Dtype dt,
 }
 AwaitOps Rank::allreduce(Comm& comm, double bytes, net::Dtype dt,
                          ReduceOp op) {
-  ++stats_.collectives;
+  ++sim_->statsOf(id_).collectives;
   return AwaitOps(*sim_, *this,
                   {sim_->joinCollective(comm, comm.commRankOf(id_),
                                         net::CollKind::Allreduce, bytes, dt,
                                         -1, op)});
 }
 AwaitOps Rank::allgather(Comm& comm, double bytesPerRank) {
-  ++stats_.collectives;
+  ++sim_->statsOf(id_).collectives;
   return AwaitOps(
       *sim_, *this,
       {sim_->joinCollective(comm, comm.commRankOf(id_),
@@ -286,7 +296,7 @@ AwaitOps Rank::allgather(Comm& comm, double bytesPerRank) {
                             net::Dtype::Byte)});
 }
 AwaitOps Rank::alltoall(Comm& comm, double bytesPerPair) {
-  ++stats_.collectives;
+  ++sim_->statsOf(id_).collectives;
   return AwaitOps(
       *sim_, *this,
       {sim_->joinCollective(comm, comm.commRankOf(id_),

@@ -167,15 +167,15 @@ class Rank {
                         net::Dtype dt = net::Dtype::Double) const;
 
   /// What this rank is currently blocked on (deadlock diagnostics).
-  const char* blockedOn() const { return blockedOn_; }
+  const char* blockedOn() const;
 
   /// The request list this rank is suspended on, or null when running —
   /// the wait-chain deadlock reporter walks these to build the wait-for
   /// graph.  Valid only while the rank is blocked.
-  const std::vector<Request>* pendingOps() const { return pendingOps_; }
+  const std::vector<Request>* pendingOps() const;
 
   /// Activity counters accumulated so far.
-  const RankStats& stats() const { return stats_; }
+  const RankStats& stats() const;
 
   /// Applies the machine's OS-noise jitter to a compute interval (no-op
   /// on the noiseless CNK/Catamount microkernels).
@@ -187,12 +187,13 @@ class Rank {
   friend class AwaitAny;
   friend class AwaitCompute;
 
+  // A Rank is a thin handle: the runtime state the engine mutates on
+  // every block/unblock (stats, blockedOn, pendingOps) lives in the
+  // Simulation's SoA arrays, keyed by id_ — 48 bytes per rank here
+  // instead of ~128, and the hot fields pack contiguously.
   Simulation* sim_ = nullptr;
   int id_ = -1;
   Rng rng_;
-  const char* blockedOn_ = nullptr;
-  const std::vector<Request>* pendingOps_ = nullptr;
-  RankStats stats_;
 };
 
 }  // namespace bgp::smpi

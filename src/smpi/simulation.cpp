@@ -18,6 +18,11 @@ Simulation::Simulation(arch::MachineConfig machine, std::int64_t nranks,
   std::vector<int> all(static_cast<std::size_t>(nranks));
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
   world_.reset(new Comm(0, std::move(all), static_cast<int>(nranks)));
+  const auto n = static_cast<std::size_t>(nranks);
+  stats_.assign(n, RankStats{});
+  blockedOnByRank_.assign(n, nullptr);
+  pendingOpsByRank_.assign(n, nullptr);
+  ranks_.reserve(n);
   std::uint64_t sm = seed;
   for (std::int64_t i = 0; i < nranks; ++i) {
     ranks_.emplace_back();
@@ -195,14 +200,13 @@ void Simulation::requireMemoryPerTask(double bytes) const {
 
 const RankStats& Simulation::rankStats(int worldRank) const {
   BGP_REQUIRE(worldRank >= 0 && worldRank < nranks_);
-  return ranks_[static_cast<std::size_t>(worldRank)].stats();
+  return stats_[static_cast<std::size_t>(worldRank)];
 }
 
 Simulation::Profile Simulation::profile() const {
   Profile p;
   double maxCompute = 0.0;
-  for (const Rank& r : ranks_) {
-    const RankStats& s = r.stats();
+  for (const RankStats& s : stats_) {
     p.sends += s.sends;
     p.collectives += s.collectives;
     p.bytesSent += s.bytesSent;
@@ -219,11 +223,6 @@ Simulation::Profile Simulation::profile() const {
   p.commFraction =
       total > 0 ? (p.p2pWaitSeconds + p.collWaitSeconds) / total : 0.0;
   return p;
-}
-
-bool Simulation::matches(int wantedSrc, int wantedTag, int src, int tag) {
-  return (wantedSrc == kAnySource || wantedSrc == src) &&
-         (wantedTag == kAnyTag || wantedTag == tag);
 }
 
 std::string Simulation::describeOp(const OpState& op) {
@@ -326,7 +325,7 @@ Request Simulation::startSend(int worldSrc, Comm& comm, int dstCommRank,
   BGP_REQUIRE_MSG(dstCommRank >= 0 && dstCommRank < comm.size(),
                   "destination rank out of range");
   checkAlive(worldSrc);
-  auto op = std::make_shared<OpState>();
+  Request op = makeOpState();
   op->what = "send";
   op->ownerWorld = worldSrc;
   op->peer = dstCommRank;
@@ -363,40 +362,31 @@ Request Simulation::startSend(int worldSrc, Comm& comm, int dstCommRank,
 
 void Simulation::deliverEager(Comm& comm, int src, int dst, int tag,
                               double bytes) {
-  auto& posted = comm.postedRecvs_[static_cast<std::size_t>(dst)];
-  for (auto it = posted.begin(); it != posted.end(); ++it) {
-    if (matches(it->src, it->tag, src, tag)) {
-      Request op = it->op;
-      posted.erase(it);
-      if (verifier_)
-        verifier_->onRecvMatched(comm, src, dst, tag, op->expectedBytes,
-                                 bytes);
-      op->info = RecvInfo{src, tag, bytes};
-      op->finish();
-      return;
-    }
+  if (Request op = comm.match_.takePostedMatch(dst, src, tag)) {
+    if (verifier_)
+      verifier_->onRecvMatched(comm, src, dst, tag, op->expectedBytes,
+                               bytes);
+    op->info = RecvInfo{src, tag, bytes};
+    op->finish();
+    return;
   }
-  comm.staged_[static_cast<std::size_t>(dst)].push_back(
-      Comm::StagedMsg{src, tag, bytes, false, nullptr, engine_.now()});
+  comm.match_.addStaged(
+      dst, MatchTable::Staged{src, tag, bytes, false, nullptr,
+                              engine_.now()});
 }
 
 void Simulation::arriveRts(Comm& comm, int src, int dst, int tag,
                            double bytes, Request sendOp) {
-  auto& posted = comm.postedRecvs_[static_cast<std::size_t>(dst)];
-  for (auto it = posted.begin(); it != posted.end(); ++it) {
-    if (matches(it->src, it->tag, src, tag)) {
-      Request recvOp = it->op;
-      posted.erase(it);
-      if (verifier_)
-        verifier_->onRecvMatched(comm, src, dst, tag, recvOp->expectedBytes,
-                                 bytes);
-      startRendezvousData(comm, src, dst, tag, bytes, sendOp, recvOp);
-      return;
-    }
+  if (Request recvOp = comm.match_.takePostedMatch(dst, src, tag)) {
+    if (verifier_)
+      verifier_->onRecvMatched(comm, src, dst, tag, recvOp->expectedBytes,
+                               bytes);
+    startRendezvousData(comm, src, dst, tag, bytes, sendOp, recvOp);
+    return;
   }
-  comm.staged_[static_cast<std::size_t>(dst)].push_back(
-      Comm::StagedMsg{src, tag, bytes, true, std::move(sendOp),
-                      engine_.now()});
+  comm.match_.addStaged(
+      dst, MatchTable::Staged{src, tag, bytes, true, std::move(sendOp),
+                              engine_.now()});
 }
 
 void Simulation::startRendezvousData(Comm& comm, int src, int dst, int tag,
@@ -425,7 +415,7 @@ Request Simulation::postRecv(int worldDst, Comm& comm, int srcWanted,
                       (srcWanted >= 0 && srcWanted < comm.size()),
                   "source rank out of range");
   checkAlive(worldDst);
-  auto op = std::make_shared<OpState>();
+  Request op = makeOpState();
   op->what = "recv";
   op->ownerWorld = worldDst;
   op->peer = srcWanted;
@@ -434,26 +424,21 @@ Request Simulation::postRecv(int worldDst, Comm& comm, int srcWanted,
   op->expectedBytes = expectedBytes;
   if (verifier_) verifier_->onRecv(op);
 
-  auto& staged = comm.staged_[static_cast<std::size_t>(dst)];
-  for (auto it = staged.begin(); it != staged.end(); ++it) {
-    if (matches(srcWanted, tagWanted, it->src, it->tag)) {
-      const Comm::StagedMsg msg = *it;
-      staged.erase(it);
-      if (verifier_)
-        verifier_->onRecvMatched(comm, msg.src, dst, msg.tag, expectedBytes,
-                                 msg.bytes);
-      if (msg.rendezvous) {
-        startRendezvousData(comm, msg.src, dst, msg.tag, msg.bytes,
-                            msg.sendOp, op);
-      } else {
-        op->info = RecvInfo{msg.src, msg.tag, msg.bytes};
-        op->finish();
-      }
-      return op;
+  MatchTable::Staged msg;
+  if (comm.match_.takeStagedMatch(dst, srcWanted, tagWanted, msg)) {
+    if (verifier_)
+      verifier_->onRecvMatched(comm, msg.src, dst, msg.tag, expectedBytes,
+                               msg.bytes);
+    if (msg.rendezvous) {
+      startRendezvousData(comm, msg.src, dst, msg.tag, msg.bytes, msg.sendOp,
+                          op);
+    } else {
+      op->info = RecvInfo{msg.src, msg.tag, msg.bytes};
+      op->finish();
     }
+    return op;
   }
-  comm.postedRecvs_[static_cast<std::size_t>(dst)].push_back(
-      Comm::PostedRecv{srcWanted, tagWanted, op});
+  comm.match_.addPosted(dst, srcWanted, tagWanted, op);
   return op;
 }
 
@@ -462,15 +447,8 @@ Request Simulation::joinCollective(Comm& comm, int commRank,
                                    net::Dtype dt, int root, ReduceOp rop) {
   BGP_REQUIRE(commRank >= 0 && commRank < comm.size());
   checkAlive(comm.worldRank(commRank));
-  auto op = std::make_shared<OpState>();
-  op->what = "collective";
-  op->ownerWorld = comm.worldRank(commRank);
-  op->commId = comm.id();
-  op->bytes = bytes;
-
   const std::uint64_t seq =
       comm.nextCollSeq_[static_cast<std::size_t>(commRank)]++;
-  op->collSeq = seq;
   if (verifier_)
     verifier_->onCollective(comm, seq, commRank, kind, root, rop, dt, bytes);
   auto& gate = comm.colls_[seq];
@@ -480,6 +458,15 @@ Request Simulation::joinCollective(Comm& comm, int commRank,
     gate.root = root;
     gate.rop = rop;
     gate.firstRank = commRank;
+    // One OpState for the whole gate: every member awaits the same op,
+    // and the continuation registration order *is* the arrival order, so
+    // a single finish() resumes the members in exactly the sequence the
+    // seed's per-rank fan-out produced — at the same simulated time.
+    gate.op = makeOpState();
+    gate.op->what = "collective";
+    gate.op->ownerWorld = comm.worldRank(commRank);
+    gate.op->commId = comm.id();
+    gate.op->collSeq = seq;
   } else {
     BGP_REQUIRE_MSG(gate.kind == kind,
                     "collective mismatch: ranks disagree on operation " +
@@ -487,9 +474,10 @@ Request Simulation::joinCollective(Comm& comm, int commRank,
                         net::toString(kind));
   }
   gate.bytes = std::max(gate.bytes, bytes);
+  gate.op->bytes = gate.bytes;
   ++gate.arrived;
   gate.lastArrival = std::max(gate.lastArrival, engine_.now());
-  gate.ops.push_back(op);
+  Request op = gate.op;
 
   if (gate.arrived == comm.size()) {
     // The BG/P tree/barrier networks only serve the full partition; sub-
@@ -497,8 +485,7 @@ Request Simulation::joinCollective(Comm& comm, int commRank,
     const double duration = system_->collectives().cost(
         kind, comm.size(), gate.bytes, gate.dt, comm.id() == 0);
     const sim::SimTime done = gate.lastArrival + duration;
-    for (auto& slot : gate.ops)
-      engine_.scheduleCallback(done, [slot] { slot->finish(); });
+    engine_.scheduleCallback(done, [op] { op->finish(); });
     comm.colls_.erase(seq);
   }
   return op;

@@ -5,6 +5,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "net/system.hpp"
 #include "sim/engine.hpp"
@@ -107,15 +108,27 @@ class Simulation {
                          double bytes, net::Dtype dt, int root = -1,
                          ReduceOp rop = ReduceOp::None);
 
+  // Hot per-rank runtime state lives in SoA arrays sized once at startup
+  // (not in Rank): the Rank objects stay thin handles, and the fields the
+  // engine touches on every block/unblock pack densely instead of being
+  // strewn across 131k Rank objects.
+  RankStats& statsOf(int worldRank) {
+    return stats_[static_cast<std::size_t>(worldRank)];
+  }
+  const char*& blockedOnOf(int worldRank) {
+    return blockedOnByRank_[static_cast<std::size_t>(worldRank)];
+  }
+  const std::vector<Request>*& pendingOpsOf(int worldRank) {
+    return pendingOpsByRank_[static_cast<std::size_t>(worldRank)];
+  }
+
  private:
-  struct Match;
   void deliverEager(Comm& comm, int src, int dst, int tag, double bytes);
   void arriveRts(Comm& comm, int src, int dst, int tag, double bytes,
                  Request sendOp);
   void startRendezvousData(Comm& comm, int src, int dst, int tag,
                            double bytes, const Request& sendOp,
                            const Request& recvOp);
-  static bool matches(int wantedSrc, int wantedTag, int src, int tag);
   /// "rank 3: recv(src=1, tag=7, comm 0)" for wait-chain reports.
   static std::string describeOp(const OpState& op);
   /// Appends a wait-for-graph cycle (if one exists) to deadlock reports.
@@ -128,7 +141,11 @@ class Simulation {
   std::unique_ptr<Comm> world_;
   std::deque<std::unique_ptr<Comm>> subComms_;
   int nextCommId_ = 1;
-  std::deque<Rank> ranks_;
+  std::vector<Rank> ranks_;  // thin handles; sized once in the constructor
+  // SoA per-rank state (see statsOf/blockedOnOf/pendingOpsOf).
+  std::vector<RankStats> stats_;
+  std::vector<const char*> blockedOnByRank_;
+  std::vector<const std::vector<Request>*> pendingOpsByRank_;
   std::unique_ptr<sim::FaultPlane> faults_;
   std::unique_ptr<Verifier> verifier_;
   bool ran_ = false;

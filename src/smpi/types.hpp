@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "support/arena.hpp"
 
 namespace bgp::smpi {
 
@@ -68,28 +69,49 @@ struct OpState {
   // Continuations are SmallFn, not std::function: awaiter captures (~25-56
   // bytes) overflow libstdc++'s inline buffer, and completions are hot
   // enough that the per-await heap allocation showed up in sweep profiles.
+  // The first continuation lives inline — a p2p op has exactly one awaiter
+  // in every benchmark, so the common op never touches the heap for its
+  // continuation either; only a shared collective op (one OpState awaited
+  // by every member rank) spills into the vector.
   template <typename F>
   void onComplete(F&& fn) {
     if (complete) {
       fn();
+    } else if (!first_) {
+      first_.emplace(std::forward<F>(fn));
     } else {
-      continuations_.emplace_back(std::forward<F>(fn));
+      spill_.emplace_back(std::forward<F>(fn));
     }
   }
 
   void finish() {
     BGP_CHECK_MSG(!complete, "operation completed twice");
     complete = true;
-    for (auto& fn : continuations_) fn();
-    continuations_.clear();
+    if (first_) {
+      sim::SmallFn fn = std::move(first_);
+      fn();
+    }
+    if (!spill_.empty()) {
+      // Registration order: first_, then spill_ front-to-back.
+      std::vector<sim::SmallFn> fns = std::move(spill_);
+      for (auto& fn : fns) fn();
+    }
   }
 
  private:
-  std::vector<sim::SmallFn> continuations_;
+  sim::SmallFn first_;
+  std::vector<sim::SmallFn> spill_;
 };
 
 /// Handle to a nonblocking operation (MPI_Request equivalent).
 using Request = std::shared_ptr<OpState>;
+
+/// Creates an OpState on the calling thread's arena: the shared_ptr
+/// control block and the object share one granule, and the per-op
+/// alloc/free pair stays off the global allocator.
+inline Request makeOpState() {
+  return std::allocate_shared<OpState>(support::ArenaAllocator<OpState>{});
+}
 
 /// Aggregate of every rank program that exited with an exception.  Thrown
 /// by Simulation::run when two or more ranks failed, so a multi-rank bug

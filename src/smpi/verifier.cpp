@@ -106,21 +106,26 @@ void Verifier::finalize(const std::vector<const Comm*>& comms) {
   std::vector<std::string> leaks;
 
   for (const Comm* comm : comms) {
+    // Both enumerations come back grouped by dst in FIFO order; merge them
+    // into the per-destination staged-then-posted interleaving the leak
+    // reports have always used.
+    const auto staged = comm->match_.stagedLeaks();
+    const auto posted = comm->match_.postedLeaks();
+    std::size_t si = 0, pi = 0;
     for (int dst = 0; dst < comm->size(); ++dst) {
-      for (const auto& msg :
-           comm->staged_[static_cast<std::size_t>(dst)]) {
+      for (; si < staged.size() && staged[si].dst == dst; ++si) {
+        const auto& msg = staged[si];
         std::ostringstream os;
         os << "orphaned send: " << rankName(*comm, msg.src) << " sent "
            << msg.bytes << " B (tag " << msg.tag << ") to "
            << rankName(*comm, dst) << " but it was never received";
         leaks.push_back(os.str());
       }
-      for (const auto& posted :
-           comm->postedRecvs_[static_cast<std::size_t>(dst)]) {
+      for (; pi < posted.size() && posted[pi].dst == dst; ++pi) {
         std::ostringstream os;
         os << "pending receive at finalize: " << rankName(*comm, dst)
-           << " posted recv(src=" << sourceName(*comm, posted.src)
-           << ", tag=" << tagName(posted.tag) << ") that never matched";
+           << " posted recv(src=" << sourceName(*comm, posted[pi].src)
+           << ", tag=" << tagName(posted[pi].tag) << ") that never matched";
         leaks.push_back(os.str());
       }
     }

@@ -1,5 +1,6 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -16,7 +17,12 @@ struct ThreadPool::Batch {
 
 struct ThreadPool::Task {
   Batch* batch = nullptr;
-  std::size_t index = 0;
+  // Half-open index range [begin, end).  Chunking indices into ranges keeps
+  // the per-scenario deque/lock traffic proportional to the chunk count,
+  // not the scenario count, while still leaving ~8 chunks per worker for
+  // the stealing to balance uneven scenario costs.
+  std::size_t begin = 0;
+  std::size_t end = 0;
 };
 
 struct ThreadPool::Worker {
@@ -30,7 +36,7 @@ constexpr std::size_t kExternal = static_cast<std::size_t>(-1);
 
 void ThreadPool::executeTask(const Task& t) {
   try {
-    (*t.batch->fn)(t.index);
+    for (std::size_t i = t.begin; i < t.end; ++i) (*t.batch->fn)(i);
   } catch (...) {
     std::lock_guard<std::mutex> lk(t.batch->mutex);
     if (!t.batch->error) t.batch->error = std::current_exception();
@@ -46,6 +52,12 @@ void ThreadPool::executeTask(const Task& t) {
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = defaultThreads();
+  // Never spawn more workers than the hardware can actually run: the
+  // scenarios are CPU-bound, so oversubscribed workers only time-slice
+  // against each other and the sweep comes out *slower* than serial.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned cap = hw > 0 ? hw : 1;
+  if (threads > cap) threads = cap;
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
     workers_.push_back(std::make_unique<Worker>());
@@ -129,17 +141,25 @@ void ThreadPool::parallelFor(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Cost-aware chunking: ~8 chunks per worker keeps scheduling overhead
+  // negligible for large sweeps while leaving the work-stealing enough
+  // slack to rebalance when some scenarios run much longer than others.
+  const std::size_t nw = workers_.size();
+  const std::size_t chunk = std::max<std::size_t>(1, n / (8 * nw));
+  const std::size_t nTasks = (n + chunk - 1) / chunk;
   Batch batch;
   batch.fn = &fn;
-  batch.remaining.store(n);
+  batch.remaining.store(nTasks);
   {
     std::lock_guard<std::mutex> wlk(wakeMutex_);
-    for (std::size_t i = 0; i < n; ++i) {
-      Worker& w = *workers_[i % workers_.size()];
+    for (std::size_t t = 0; t < nTasks; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      Worker& w = *workers_[t % nw];
       std::lock_guard<std::mutex> lk(w.mutex);
-      w.deque.push_back(Task{&batch, i});
+      w.deque.push_back(Task{&batch, begin, end});
     }
-    pendingTasks_ += static_cast<std::int64_t>(n);
+    pendingTasks_ += static_cast<std::int64_t>(nTasks);
   }
   wake_.notify_all();
   // The caller participates: run scenario tasks (its own batch's or a

@@ -31,7 +31,9 @@ namespace bgp::support {
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 picks a hardware-based default (also
-  /// overridable via the BGP_THREADS environment variable).
+  /// overridable via the BGP_THREADS environment variable).  Requests
+  /// beyond hardware_concurrency are clamped: the scenarios are CPU-bound,
+  /// so extra workers would only contend for the same cores.
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
@@ -56,7 +58,7 @@ class ThreadPool {
 
  private:
   struct Batch;   // one parallelFor invocation
-  struct Task;    // (batch, index) pair sitting in a deque
+  struct Task;    // (batch, [begin, end) index chunk) sitting in a deque
   struct Worker;  // per-thread deque + lock
 
   void workerLoop(std::size_t self);

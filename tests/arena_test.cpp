@@ -1,0 +1,119 @@
+// Tests for the thread-local bump/free-list arena (support/arena.hpp):
+// size-class rounding, LIFO reuse, large-block passthrough, and the
+// std-allocator adapter used by makeOpState().
+
+#include "support/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <vector>
+
+using bgp::support::Arena;
+using bgp::support::ArenaAllocator;
+
+TEST(Arena, ReusesFreedBlockLifo) {
+  Arena a;
+  void* p = a.allocate(64);
+  a.deallocate(p, 64);
+  void* q = a.allocate(64);
+  EXPECT_EQ(p, q);  // the free list is LIFO: last freed comes back first
+  a.deallocate(q, 64);
+  EXPECT_EQ(a.liveBlocks(), 0u);
+}
+
+TEST(Arena, RoundsUpWithinSizeClass) {
+  Arena a;
+  // 1 and 64 bytes share class 0, so a freed 64-byte block satisfies a
+  // 1-byte request; 65 bytes lands in class 1 and must not.
+  void* p = a.allocate(64);
+  a.deallocate(p, 64);
+  void* q = a.allocate(1);
+  EXPECT_EQ(p, q);
+  void* r = a.allocate(65);
+  EXPECT_NE(p, r);
+  a.deallocate(q, 1);
+  a.deallocate(r, 65);
+  EXPECT_EQ(a.liveBlocks(), 0u);
+}
+
+TEST(Arena, LargeBlocksPassThrough) {
+  Arena a;
+  void* p = a.allocate(Arena::kMaxSmall + 1);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, Arena::kMaxSmall + 1);  // must be writable
+  EXPECT_EQ(a.liveBlocks(), 0u);     // not tracked by the arena
+  EXPECT_EQ(a.reservedBytes(), 0u);  // no chunk was carved
+  a.deallocate(p, Arena::kMaxSmall + 1);
+}
+
+TEST(Arena, BlocksAreMaxAligned) {
+  Arena a;
+  for (std::size_t n : {1u, 48u, 64u, 200u, 4096u}) {
+    void* p = a.allocate(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::max_align_t),
+              0u)
+        << "n=" << n;
+    a.deallocate(p, n);
+  }
+}
+
+TEST(Arena, ManyBlocksAreDistinctAndWritable) {
+  Arena a;
+  constexpr int kCount = 10000;  // > one 256 KiB chunk of 64-byte granules
+  std::vector<void*> ps;
+  std::set<void*> seen;
+  for (int i = 0; i < kCount; ++i) {
+    void* p = a.allocate(64);
+    std::memset(p, i & 0xff, 64);
+    ps.push_back(p);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate block at i=" << i;
+  }
+  EXPECT_EQ(a.liveBlocks(), static_cast<std::uint64_t>(kCount));
+  EXPECT_GT(a.reservedBytes(), Arena::kChunkBytes);
+  for (void* p : ps) a.deallocate(p, 64);
+  EXPECT_EQ(a.liveBlocks(), 0u);
+  // Everything freed: a fresh allocation burst reuses the same chunks.
+  const std::size_t reserved = a.reservedBytes();
+  for (int i = 0; i < kCount; ++i) ps[i] = a.allocate(64);
+  EXPECT_EQ(a.reservedBytes(), reserved);
+  for (void* p : ps) a.deallocate(p, 64);
+}
+
+TEST(Arena, MixedSizeClassesDoNotCrossContaminate) {
+  Arena a;
+  void* small = a.allocate(64);
+  void* mid = a.allocate(640);
+  a.deallocate(small, 64);
+  a.deallocate(mid, 640);
+  // Each class only recycles its own blocks.
+  EXPECT_EQ(a.allocate(640), mid);
+  EXPECT_EQ(a.allocate(64), small);
+  a.deallocate(small, 64);
+  a.deallocate(mid, 640);
+  EXPECT_EQ(a.liveBlocks(), 0u);
+}
+
+TEST(ArenaAllocatorAdapter, WorksWithAllocateShared) {
+  struct Payload {
+    double x = 1.5;
+    int y = 7;
+  };
+  auto p = std::allocate_shared<Payload>(ArenaAllocator<Payload>{});
+  EXPECT_EQ(p->x, 1.5);
+  EXPECT_EQ(p->y, 7);
+  std::weak_ptr<Payload> w = p;
+  p.reset();
+  EXPECT_TRUE(w.expired());
+}
+
+TEST(ArenaAllocatorAdapter, WorksAsContainerAllocator) {
+  std::vector<int, ArenaAllocator<int>> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i);
+  // Allocators of different value types compare equal (one shared arena).
+  EXPECT_TRUE((ArenaAllocator<int>{} == ArenaAllocator<double>{}));
+}

@@ -1,0 +1,86 @@
+// Memory-footprint regression gate for paper-scale worlds: constructing an
+// idle 65,536-rank VN world must stay under a recorded per-rank budget.
+// This is the test that keeps the rank runtime's per-rank state from
+// quietly growing back to where 131,072 ranks no longer fit in memory
+// (the arena, the SoA rank state, and the O(1) match table exist to keep
+// this number small — see docs/performance.md).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "arch/machines.hpp"
+#include "net/system.hpp"
+#include "smpi/simulation.hpp"
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
+
+namespace {
+
+constexpr bool kSanitized =
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    true;
+#else
+    false;
+#endif
+#else
+    false;
+#endif
+
+/// Resident set size in bytes via /proc/self/statm; -1 when unavailable
+/// (non-Linux), which skips the test.
+long residentBytes() {
+#if defined(__unix__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return -1;
+  long totalPages = 0, residentPages = 0;
+  const int got = std::fscanf(f, "%ld %ld", &totalPages, &residentPages);
+  std::fclose(f);
+  if (got != 2) return -1;
+  return residentPages * sysconf(_SC_PAGESIZE);
+#else
+  return -1;
+#endif
+}
+
+}  // namespace
+
+TEST(MemoryFootprint, IdleWorldStaysUnderPerRankBudget) {
+  if (kSanitized)
+    GTEST_SKIP() << "sanitizer redzones/shadow inflate RSS; measured only "
+                    "in plain builds";
+  const long before = residentBytes();
+  if (before < 0) GTEST_SKIP() << "/proc/self/statm unavailable";
+
+  constexpr int kRanks = 65536;
+  // Recorded budget: the post-PR3 runtime measures ~420 bytes/rank here
+  // (thin Rank handles + SoA stats + match-table arrival heads, plus the
+  // amortized share of the torus route cache).  The budget leaves ~1.8x
+  // headroom for allocator noise; a regression past it means per-rank
+  // state crept back in — reject it, 131,072-rank worlds are the point.
+  constexpr double kBudgetBytesPerRank = 768.0;
+
+  bgp::net::SystemOptions o;
+  o.mode = bgp::arch::ExecMode::VN;
+  auto sim = std::make_unique<bgp::smpi::Simulation>(
+      bgp::arch::machineByName("BG/P"), kRanks, o);
+  ASSERT_EQ(sim->nranks(), kRanks);
+
+  const long after = residentBytes();
+  ASSERT_GE(after, 0);
+  const double perRank =
+      static_cast<double>(after - before) / static_cast<double>(kRanks);
+  RecordProperty("bytes_per_rank", static_cast<int>(perRank));
+  std::printf("[ footprint ] idle %d-rank world: %.0f bytes/rank "
+              "(budget %.0f)\n",
+              kRanks, perRank, kBudgetBytesPerRank);
+  EXPECT_LT(perRank, kBudgetBytesPerRank)
+      << "per-rank memory of an idle world regressed past the recorded "
+         "budget";
+}
