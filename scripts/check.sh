@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# The one-command gate: default build + full ctest, sanitizer tier-1,
+# source lint, and the smpilint paper-scenario sweep.  Green here means
+# shippable.
+#
+# Usage: scripts/check.sh [--skip-sanitize] [--skip-tsan]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+skip_sanitize=0
+skip_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitize) skip_sanitize=1 ;;
+    --skip-tsan) skip_tsan=1 ;;
+    *) echo "check.sh: unknown option $arg" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> [1/5] default build + full ctest"
+cmake --preset default >/dev/null
+cmake --build --preset default -j"$jobs"
+ctest --preset default -j"$jobs"
+
+if [[ $skip_sanitize -eq 0 ]]; then
+  echo "==> [2/5] ASan+UBSan tier-1"
+  cmake --preset sanitize >/dev/null
+  cmake --build --preset sanitize -j"$jobs"
+  ctest --preset sanitize -j"$jobs"
+else
+  echo "==> [2/5] sanitize: skipped"
+fi
+
+if [[ $skip_tsan -eq 0 ]]; then
+  echo "==> [3/5] TSan tier-1"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j"$jobs"
+  ctest --preset tsan -j"$jobs"
+else
+  echo "==> [3/5] tsan: skipped"
+fi
+
+echo "==> [4/5] source lint"
+scripts/lint.sh "$repo_root/build"
+
+echo "==> [5/5] smpilint over the paper scenarios"
+"$repo_root/build/tools/smpilint" --group=paper
+
+echo "check.sh: all gates green"

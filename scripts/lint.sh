@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Source-level static analysis over src/, warnings-as-errors.
+#
+# Primary tool: clang-tidy with the repo's .clang-tidy profile, driven by
+# the compile_commands.json the presets export.  Containers without
+# clang-tidy (the CI image ships only binutils from LLVM) fall back to a
+# strict g++ -fsyntax-only pass with the warning set promoted to errors,
+# so the gate still bites everywhere instead of silently passing.
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "lint.sh: $build_dir/compile_commands.json not found;" \
+       "configure first: cmake --preset default" >&2
+  exit 2
+fi
+
+sources=()
+while IFS= read -r f; do sources+=("$f"); done \
+  < <(find "$repo_root/src" -name '*.cpp' | sort)
+
+# clang-tidy under any of its usual names, newest first.
+tidy=""
+for cand in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
+  if command -v "$cand" >/dev/null 2>&1; then tidy="$cand"; break; fi
+done
+
+if [[ -n "$tidy" ]]; then
+  echo "lint.sh: $tidy over ${#sources[@]} files (warnings-as-errors)"
+  "$tidy" -p "$build_dir" --quiet "${sources[@]}"
+  echo "lint.sh: clang-tidy clean"
+  exit 0
+fi
+
+echo "lint.sh: clang-tidy not installed; falling back to strict g++" \
+     "-fsyntax-only (-Werror) over ${#sources[@]} files"
+status=0
+for f in "${sources[@]}"; do
+  if ! g++ -std=c++20 -fsyntax-only -I"$repo_root/src" \
+       -Wall -Wextra -Wpedantic -Werror "$f"; then
+    status=1
+    echo "lint.sh: FAIL $f" >&2
+  fi
+done
+if [[ $status -ne 0 ]]; then
+  echo "lint.sh: findings above" >&2
+  exit 1
+fi
+echo "lint.sh: strict g++ pass clean"

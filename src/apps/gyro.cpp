@@ -114,9 +114,8 @@ GyroResult runGyro(const GyroConfig& config) {
     const double avail = arch::memPerTaskBytes(mode, config.machine);
     if (perTaskBytes <= avail) return runAtMode(config, mode);
   }
-  BGP_REQUIRE_MSG(false, config.problem.name + " does not fit on " +
-                             config.machine.name + " at any mode");
-  return {};
+  BGP_FAIL(config.problem.name + " does not fit on " +
+           config.machine.name + " at any mode");
 }
 
 double runGyroWeak(const arch::MachineConfig& machine, int nranks,

@@ -16,8 +16,7 @@ int tasksPerNode(ExecMode mode, const MachineConfig& machine) {
     case ExecMode::VN:
       return machine.maxTasksPerNode;
   }
-  BGP_CHECK(false);
-  return 1;
+  BGP_UNREACHABLE();
 }
 
 int threadsPerTask(ExecMode mode, const MachineConfig& machine,
@@ -41,16 +40,14 @@ std::string toString(ExecMode mode) {
     case ExecMode::VN:
       return "VN";
   }
-  BGP_CHECK(false);
-  return {};
+  BGP_UNREACHABLE();
 }
 
 ExecMode execModeFromString(const std::string& s) {
   if (s == "SMP" || s == "smp" || s == "SN") return ExecMode::SMP;
   if (s == "DUAL" || s == "dual") return ExecMode::DUAL;
   if (s == "VN" || s == "vn") return ExecMode::VN;
-  BGP_REQUIRE_MSG(false, "unknown exec mode: " + s);
-  return ExecMode::SMP;  // unreachable
+  BGP_FAIL("unknown exec mode: " + s);
 }
 
 }  // namespace bgp::arch

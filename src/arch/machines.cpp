@@ -203,8 +203,7 @@ std::vector<MachineConfig> allMachines() {
 MachineConfig machineByName(const std::string& name) {
   for (auto& m : allMachines())
     if (m.name == name) return m;
-  BGP_REQUIRE_MSG(false, "unknown machine: " + name);
-  return {};  // unreachable
+  BGP_FAIL("unknown machine: " + name);
 }
 
 }  // namespace bgp::arch

@@ -24,8 +24,7 @@ double Series::lastY() const {
 double Series::yAt(double x) const {
   for (const auto& p : points)
     if (p.x == x) return p.y;
-  BGP_REQUIRE_MSG(false, "series '" + label + "' has no point at x");
-  return 0;
+  BGP_FAIL("series '" + label + "' has no point at x");
 }
 
 bool Series::hasX(double x) const {
@@ -47,8 +46,7 @@ Series& Figure::addSeries(const std::string& label) {
 const Series& Figure::seriesNamed(const std::string& label) const {
   for (const auto& s : series_)
     if (s.label == label) return s;
-  BGP_REQUIRE_MSG(false, "no series named " + label);
-  return series_.front();
+  BGP_FAIL("no series named " + label);
 }
 
 void Figure::print(std::ostream& os, const char* fmt) const {

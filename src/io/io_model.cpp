@@ -17,8 +17,7 @@ std::string toString(IoPattern pattern) {
     case IoPattern::SingleWriter:
       return "single-writer";
   }
-  BGP_CHECK(false);
-  return {};
+  BGP_UNREACHABLE();
 }
 
 IoConfig ioConfigFor(const arch::MachineConfig& machine,
@@ -89,7 +88,7 @@ IoBreakdown IoSubsystem::transfer(std::int64_t nranks, double bytesPerRank,
       metadataOps = 2.0;
       break;
     case IoPattern::SingleWriter:
-      BGP_CHECK(false);
+      BGP_UNREACHABLE();
   }
 
   b.forwardSeconds =

@@ -19,8 +19,7 @@ std::string toString(StreamKernel k) {
     case StreamKernel::Triad:
       return "Triad";
   }
-  BGP_CHECK(false);
-  return {};
+  BGP_UNREACHABLE();
 }
 
 double streamBytesPerElement(StreamKernel k) {
@@ -32,8 +31,7 @@ double streamBytesPerElement(StreamKernel k) {
     case StreamKernel::Triad:
       return 3.0 * sizeof(double);
   }
-  BGP_CHECK(false);
-  return 0;
+  BGP_UNREACHABLE();
 }
 
 void streamPass(StreamKernel k, std::span<double> a, std::span<const double> b,

@@ -19,8 +19,7 @@ std::string toString(HaloProtocol p) {
     case HaloProtocol::Bsend:
       return "BSEND";
   }
-  BGP_CHECK(false);
-  return {};
+  BGP_UNREACHABLE();
 }
 
 double runHalo(const HaloConfig& config, int words) {

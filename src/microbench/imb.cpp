@@ -29,7 +29,7 @@ double timedCollective(const ImbConfig& config, net::CollKind kind,
           co_await self.barrier();
           break;
         default:
-          BGP_CHECK(false);
+          BGP_UNREACHABLE();
       }
     }
     if (self.id() == 0) elapsed = (self.now() - t0) / reps;

@@ -28,8 +28,7 @@ std::string toString(CollKind kind) {
     case CollKind::Alltoallv:
       return "Alltoallv";
   }
-  BGP_CHECK(false);
-  return {};
+  BGP_UNREACHABLE();
 }
 
 double bytesOf(Dtype dt) {
@@ -43,8 +42,7 @@ double bytesOf(Dtype dt) {
     case Dtype::Byte:
       return 1;
   }
-  BGP_CHECK(false);
-  return 0;
+  BGP_UNREACHABLE();
 }
 
 CollectiveModel::CollectiveModel(const arch::MachineConfig& machine,
@@ -190,8 +188,7 @@ sim::SimTime CollectiveModel::cost(CollKind kind, int nranks, double bytes,
     case CollKind::Alltoallv:
       return alltoall(nranks, bytes);
   }
-  BGP_CHECK(false);
-  return 0.0;
+  BGP_UNREACHABLE();
 }
 
 }  // namespace bgp::net

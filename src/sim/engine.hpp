@@ -160,7 +160,7 @@ class Engine {
   /// order identically to their values, so a single 128-bit compare orders
   /// events by (time, seq).  The slot bits never influence ordering
   /// because seq is unique.
-  using Key = unsigned __int128;
+  __extension__ using Key = unsigned __int128;  // GCC/Clang 128-bit extension
   static constexpr int kSlotBits = 24;
   static constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;
   static constexpr std::uint64_t kMaxSeq = 1ull << 40;

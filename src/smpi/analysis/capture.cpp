@@ -1,0 +1,161 @@
+#include "smpi/analysis/capture.hpp"
+
+#include "smpi/comm.hpp"
+#include "support/expect.hpp"
+
+namespace bgp::smpi::analysis {
+
+Capture::Capture(int nranks, CaptureOptions options)
+    : options_(options),
+      graph_(nranks),
+      rankSeq_(static_cast<std::size_t>(nranks), 0) {
+  BGP_REQUIRE(nranks > 0);
+}
+
+bool Capture::full() {
+  if (graph_.nodes().size() < options_.maxOps) return false;
+  graph_.markTruncated();
+  return true;
+}
+
+void Capture::noteComm(const Comm& comm) {
+  if (graph_.comm(comm.id()) != nullptr) return;
+  CommInfo info;
+  info.size = comm.size();
+  info.worldOfCommRank.reserve(static_cast<std::size_t>(comm.size()));
+  for (int r = 0; r < comm.size(); ++r)
+    info.worldOfCommRank.push_back(comm.worldRank(r));
+  graph_.noteComm(comm.id(), std::move(info));
+}
+
+std::int32_t Capture::nodeOf(const OpState* op) const {
+  const auto it = byOp_.find(op);
+  return it == byOp_.end() ? -1 : it->second;
+}
+
+void Capture::onSend(const Comm& comm, const Request& op, sim::SimTime now) {
+  if (full()) return;
+  noteComm(comm);
+  OpNode n;
+  n.kind = OpKind::Send;
+  n.world = op->ownerWorld;
+  n.rankSeq = rankSeq_[static_cast<std::size_t>(n.world)]++;
+  n.commId = comm.id();
+  n.commRank = comm.commRankOf(n.world);
+  n.peer = op->peer;
+  n.tag = op->tag;
+  n.bytes = op->bytes;
+  n.time = now;
+  const auto id = graph_.add(std::move(n));
+  byOp_.emplace(op.get(), id);
+  pinned_.push_back(op);
+}
+
+void Capture::onRecv(const Comm& comm, const Request& op, sim::SimTime now) {
+  if (full()) return;
+  noteComm(comm);
+  OpNode n;
+  n.kind = OpKind::Recv;
+  n.world = op->ownerWorld;
+  n.rankSeq = rankSeq_[static_cast<std::size_t>(n.world)]++;
+  n.commId = comm.id();
+  n.commRank = comm.commRankOf(n.world);
+  n.peer = op->peer;  // may be kAnySource
+  n.tag = op->tag;    // may be kAnyTag
+  n.expectedBytes = op->expectedBytes;
+  n.time = now;
+  const auto id = graph_.add(std::move(n));
+  byOp_.emplace(op.get(), id);
+  pinned_.push_back(op);
+}
+
+void Capture::onCollective(const Comm& comm, std::uint64_t seq, int commRank,
+                           net::CollKind kind, int root, ReduceOp rop,
+                           net::Dtype dt, double bytes, sim::SimTime now) {
+  if (full()) return;
+  noteComm(comm);
+  OpNode n;
+  n.kind = OpKind::Coll;
+  n.world = comm.worldRank(commRank);
+  n.rankSeq = rankSeq_[static_cast<std::size_t>(n.world)]++;
+  n.commId = comm.id();
+  n.commRank = commRank;
+  n.collKind = kind;
+  n.collSeq = seq;
+  n.collRoot = root;
+  n.collRop = rop;
+  n.collDt = dt;
+  n.bytes = bytes;
+  n.time = now;
+  const auto id = graph_.add(std::move(n));
+  graph_.addGateArrival(comm.id(), seq, id);
+}
+
+void Capture::onMatch(const Request& sendOp, const Request& recvOp) {
+  const std::int32_t s = nodeOf(sendOp.get());
+  const std::int32_t r = nodeOf(recvOp.get());
+  if (s < 0 || r < 0) return;  // one side recorded after the budget hit
+  graph_.node(s).matched = r;
+  graph_.node(r).matched = s;
+}
+
+std::int32_t Capture::addWaitNode(int world, sim::SimTime now) {
+  OpNode n;
+  n.kind = OpKind::Wait;
+  n.world = world;
+  n.rankSeq = rankSeq_[static_cast<std::size_t>(world)]++;
+  n.time = now;
+  return graph_.add(std::move(n));
+}
+
+void Capture::onWait(int world, const std::vector<Request>& ops,
+                     sim::SimTime now) {
+  if (full()) return;
+  const std::int32_t wid = addWaitNode(world, now);
+  OpNode& w = graph_.node(wid);
+  for (const Request& op : ops) {
+    std::int32_t id = -1;
+    if (op->what[0] == 'c') {  // "collective": shared gate op, no byOp_ entry
+      if (const auto* arrivals =
+              graph_.gateArrivals(op->commId, op->collSeq)) {
+        for (const std::int32_t a : *arrivals)
+          if (graph_.node(a).world == world) {
+            id = a;
+            break;
+          }
+      }
+    } else {
+      id = nodeOf(op.get());
+    }
+    if (id < 0) continue;
+    w.waited.push_back(id);
+    OpNode& target = graph_.node(id);
+    if (target.waitedAt < 0) target.waitedAt = wid;
+  }
+}
+
+void Capture::onWaitOne(int world, const Request& op, sim::SimTime now) {
+  onWait(world, {op}, now);
+}
+
+// ---- CaptureScope ---------------------------------------------------------
+
+namespace {
+thread_local CaptureScope* tlsActiveScope = nullptr;
+}  // namespace
+
+CaptureScope::CaptureScope(CaptureOptions options)
+    : options_(options), prev_(tlsActiveScope) {
+  tlsActiveScope = this;
+}
+
+CaptureScope::~CaptureScope() { tlsActiveScope = prev_; }
+
+CaptureScope* CaptureScope::active() { return tlsActiveScope; }
+
+Capture& CaptureScope::attach(int nranks) {
+  captures_.push_back(std::make_unique<Capture>(nranks, options_));
+  return *captures_.back();
+}
+
+}  // namespace bgp::smpi::analysis

@@ -1,0 +1,41 @@
+#pragma once
+// The schedule-independent analysis passes.  Each reasons over the
+// op-graph's happens-before partial order, so its verdicts hold for every
+// feasible schedule of the captured program, not just the one the event
+// engine executed:
+//
+//  * wildcard-race     — an ANY_SOURCE receive with >= 2 concurrent
+//                        candidate senders (the DAMPI/ISP message-race
+//                        class): the program's result depends on timing.
+//  * collective-contract — PARCOACH-style: all ranks of a communicator
+//                        must issue the same collective sequence with
+//                        compatible kinds/roots/ops; reports the first
+//                        divergence point.
+//  * potential-deadlock — an alternate feasible matching starves a
+//                        receive that some rank waits on, even though the
+//                        executed schedule completed (Hall-condition
+//                        search over flexible match components).
+//  * tag-contract      — truncation-prone size mismatches on matched
+//                        pairs, and concurrent same-(src,dst,tag) sends
+//                        whose delivery order a wildcard receive can
+//                        observe.
+//
+// See docs/static-analysis.md for what each pass can and cannot prove.
+
+#include "smpi/analysis/op_graph.hpp"
+#include "smpi/analysis/report.hpp"
+
+namespace bgp::smpi::analysis {
+
+/// Runs every pass over `graph` (computing vector clocks if needed) and
+/// returns the merged report.
+Report analyze(OpGraph& graph);
+
+// Individual passes, appending to `report`.  analyze() calls all four;
+// exposed separately for targeted tests.
+void findWildcardRaces(const OpGraph& graph, Report& report);
+void checkCollectiveContracts(const OpGraph& graph, Report& report);
+void findPotentialDeadlocks(const OpGraph& graph, Report& report);
+void lintTagContracts(const OpGraph& graph, Report& report);
+
+}  // namespace bgp::smpi::analysis

@@ -1,0 +1,48 @@
+#include "smpi/analysis/report.hpp"
+
+#include <ostream>
+
+#include "support/expect.hpp"
+
+namespace bgp::smpi::analysis {
+
+const char* toString(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  BGP_UNREACHABLE();
+}
+
+int Report::count(Severity s) const {
+  int n = 0;
+  for (const Finding& f : findings)
+    if (f.severity == s) ++n;
+  return n;
+}
+
+void print(std::ostream& os, const Report& report, const std::string& label) {
+  const std::string where = label.empty() ? "capture" : label;
+  if (report.clean()) {
+    os << where << ": clean (" << report.opsAnalyzed << " ops, "
+       << report.nranks << " ranks)\n";
+  } else {
+    os << where << ": " << report.findings.size() << " finding"
+       << (report.findings.size() == 1 ? "" : "s") << " ("
+       << report.count(Severity::Error) << " error, "
+       << report.count(Severity::Warning) << " warning) over "
+       << report.opsAnalyzed << " ops, " << report.nranks << " ranks\n";
+  }
+  if (report.truncated)
+    os << "  note: capture truncated at its op budget; verdicts cover only "
+          "the recorded prefix\n";
+  for (const Finding& f : report.findings) {
+    os << "  [" << toString(f.severity) << "] " << f.pass << ": " << f.title
+       << "\n";
+    for (const std::string& line : f.evidence) os << "    " << line << "\n";
+    if (!f.witness.empty()) os << "    witness: " << f.witness << "\n";
+  }
+}
+
+}  // namespace bgp::smpi::analysis

@@ -1,0 +1,46 @@
+#pragma once
+// Findings emitted by the analysis passes, and their text rendering.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bgp::smpi::analysis {
+
+enum class Severity : std::uint8_t { Info, Warning, Error };
+
+const char* toString(Severity s);
+
+/// One defect (or notable pattern) found by a pass.
+struct Finding {
+  Severity severity = Severity::Warning;
+  std::string pass;   // e.g. "wildcard-race", "collective-contract"
+  std::string title;  // one-line statement of the defect
+  /// Rank/op provenance: one line per involved operation, produced by
+  /// OpGraph::describe.
+  std::vector<std::string> evidence;
+  /// Minimized witness: the smallest (usually two-rank) op sequence that
+  /// exhibits the defect under some feasible schedule.  Empty when the
+  /// pass cannot reduce the finding.
+  std::string witness;
+};
+
+/// Everything one analyzed capture produced.
+struct Report {
+  std::vector<Finding> findings;
+  /// The capture hit its op budget: verdicts cover only the recorded
+  /// prefix of the run.
+  bool truncated = false;
+  std::size_t opsAnalyzed = 0;
+  int nranks = 0;
+
+  bool clean() const { return findings.empty(); }
+  int count(Severity s) const;
+  void add(Finding f) { findings.push_back(std::move(f)); }
+};
+
+/// Renders the report to `os`.  `label` names the scenario (may be empty).
+void print(std::ostream& os, const Report& report, const std::string& label);
+
+}  // namespace bgp::smpi::analysis

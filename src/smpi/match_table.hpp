@@ -47,7 +47,8 @@ class MatchTable {
     int tag = -1;
     double bytes = 0.0;
     bool rendezvous = false;  // true: RTS only, payload not yet moved
-    Request sendOp;           // rendezvous only: sender completion
+    Request sendOp;  // rendezvous: sender completion; eager: null unless
+                     // analysis capture is on (match provenance)
     sim::SimTime ready = 0.0;
   };
 

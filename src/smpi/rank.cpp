@@ -57,6 +57,8 @@ void AwaitOps::await_suspend(std::coroutine_handle<> h) {
 
 RecvInfo AwaitOps::await_resume() const {
   for (const auto& op : ops_) op->waited = true;
+  if (auto* cap = sim_->capture())
+    cap->onWait(rank_->id_, ops_, sim_->engine().now());
   return ops_.front()->info;
 }
 
@@ -109,6 +111,8 @@ std::size_t AwaitAny::await_resume() const {
   // Only the fired request counts as waited (MPI_Waitany semantics); the
   // others stay live and must be waited on again.
   ops_[shared_->index]->waited = true;
+  if (auto* cap = sim_->capture())
+    cap->onWaitOne(rank_->id_, ops_[shared_->index], sim_->engine().now());
   return shared_->index;
 }
 

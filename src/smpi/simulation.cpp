@@ -30,6 +30,8 @@ Simulation::Simulation(arch::MachineConfig machine, std::int64_t nranks,
     ranks_.back().id_ = static_cast<int>(i);
     ranks_.back().rng_.reseed(splitmix64(sm));
   }
+  if (auto* scope = analysis::CaptureScope::active())
+    capture_ = &scope->attach(static_cast<int>(nranks));
 }
 
 void Simulation::setFaults(const sim::FaultConfig& config) {
@@ -77,6 +79,14 @@ Verifier& Simulation::enableVerifier(VerifierOptions options) {
   BGP_REQUIRE_MSG(!ran_, "enableVerifier must be called before run()");
   verifier_ = std::make_unique<Verifier>(options);
   return *verifier_;
+}
+
+analysis::Capture& Simulation::enableCapture(analysis::CaptureOptions options) {
+  BGP_REQUIRE_MSG(!ran_, "enableCapture must be called before run()");
+  ownedCapture_ = std::make_unique<analysis::Capture>(
+      static_cast<int>(nranks_), options);
+  capture_ = ownedCapture_.get();
+  return *capture_;
 }
 
 RunResult Simulation::run(const RankProgram& program) {
@@ -183,8 +193,7 @@ std::vector<Comm*> Simulation::splitWorld(
 Comm& Simulation::commOf(const std::vector<Comm*>& comms, int worldRank) {
   for (Comm* c : comms)
     if (c->contains(worldRank)) return *c;
-  BGP_REQUIRE_MSG(false, "world rank belongs to no sub-communicator");
-  return *comms.front();  // unreachable
+  BGP_FAIL("world rank belongs to no sub-communicator");
 }
 
 void Simulation::requireMemoryPerTask(double bytes) const {
@@ -333,6 +342,7 @@ Request Simulation::startSend(int worldSrc, Comm& comm, int dstCommRank,
   op->commId = comm.id();
   op->bytes = bytes;
   if (verifier_) verifier_->onSend(op);
+  if (capture_) capture_->onSend(comm, op, engine_.now());
 
   const int worldDst = comm.worldRank(dstCommRank);
   const topo::NodeId srcNode = system_->nodeOf(worldSrc);
@@ -342,9 +352,13 @@ Request Simulation::startSend(int worldSrc, Comm& comm, int dstCommRank,
     const auto tr = system_->torusNetwork().transfer(srcNode, dstNode, bytes,
                                                      engine_.now());
     engine_.scheduleCallback(tr.injected, [op] { op->finish(); });
+    // Capture-off keeps the captured Request null: copying a null
+    // shared_ptr is refcount-free, so the hot eager path stays identical.
+    Request capOp = capture_ ? op : nullptr;
     engine_.scheduleCallback(
-        tr.arrival, [this, &comm, srcCommRank, dstCommRank, tag, bytes] {
-          deliverEager(comm, srcCommRank, dstCommRank, tag, bytes);
+        tr.arrival,
+        [this, &comm, srcCommRank, dstCommRank, tag, bytes, capOp] {
+          deliverEager(comm, srcCommRank, dstCommRank, tag, bytes, capOp);
         });
   } else {
     // Rendezvous: a small ready-to-send control message travels first; the
@@ -361,17 +375,18 @@ Request Simulation::startSend(int worldSrc, Comm& comm, int dstCommRank,
 }
 
 void Simulation::deliverEager(Comm& comm, int src, int dst, int tag,
-                              double bytes) {
+                              double bytes, Request sendOp) {
   if (Request op = comm.match_.takePostedMatch(dst, src, tag)) {
     if (verifier_)
       verifier_->onRecvMatched(comm, src, dst, tag, op->expectedBytes,
                                bytes);
+    if (capture_ && sendOp) capture_->onMatch(sendOp, op);
     op->info = RecvInfo{src, tag, bytes};
     op->finish();
     return;
   }
   comm.match_.addStaged(
-      dst, MatchTable::Staged{src, tag, bytes, false, nullptr,
+      dst, MatchTable::Staged{src, tag, bytes, false, std::move(sendOp),
                               engine_.now()});
 }
 
@@ -381,6 +396,7 @@ void Simulation::arriveRts(Comm& comm, int src, int dst, int tag,
     if (verifier_)
       verifier_->onRecvMatched(comm, src, dst, tag, recvOp->expectedBytes,
                                bytes);
+    if (capture_) capture_->onMatch(sendOp, recvOp);
     startRendezvousData(comm, src, dst, tag, bytes, sendOp, recvOp);
     return;
   }
@@ -423,12 +439,14 @@ Request Simulation::postRecv(int worldDst, Comm& comm, int srcWanted,
   op->commId = comm.id();
   op->expectedBytes = expectedBytes;
   if (verifier_) verifier_->onRecv(op);
+  if (capture_) capture_->onRecv(comm, op, engine_.now());
 
   MatchTable::Staged msg;
   if (comm.match_.takeStagedMatch(dst, srcWanted, tagWanted, msg)) {
     if (verifier_)
       verifier_->onRecvMatched(comm, msg.src, dst, msg.tag, expectedBytes,
                                msg.bytes);
+    if (capture_ && msg.sendOp) capture_->onMatch(msg.sendOp, op);
     if (msg.rendezvous) {
       startRendezvousData(comm, msg.src, dst, msg.tag, msg.bytes, msg.sendOp,
                           op);
@@ -451,6 +469,12 @@ Request Simulation::joinCollective(Comm& comm, int commRank,
       comm.nextCollSeq_[static_cast<std::size_t>(commRank)]++;
   if (verifier_)
     verifier_->onCollective(comm, seq, commRank, kind, root, rop, dt, bytes);
+  // Before the gate's contract check below: a divergent arrival must land
+  // in the op-graph so the collective-contract pass can localize it even
+  // though the runtime aborts the run.
+  if (capture_)
+    capture_->onCollective(comm, seq, commRank, kind, root, rop, dt, bytes,
+                           engine_.now());
   auto& gate = comm.colls_[seq];
   if (gate.arrived == 0) {
     gate.kind = kind;

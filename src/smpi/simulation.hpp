@@ -11,6 +11,7 @@
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/task.hpp"
+#include "smpi/analysis/capture.hpp"
 #include "smpi/comm.hpp"
 #include "smpi/rank.hpp"
 #include "smpi/types.hpp"
@@ -93,6 +94,14 @@ class Simulation {
   Verifier& enableVerifier(VerifierOptions options = {});
   Verifier* verifier() { return verifier_.get(); }
 
+  // ---- static-analysis capture ---------------------------------------------
+  /// Enables communication capture for this Simulation (call before
+  /// run()); the returned Capture owns the op-graph the analysis passes
+  /// consume.  Simulations constructed under an analysis::CaptureScope are
+  /// captured automatically without this call.
+  analysis::Capture& enableCapture(analysis::CaptureOptions options = {});
+  analysis::Capture* capture() { return capture_; }
+
   /// Aborts run() with WatchdogError once either budget is exceeded
   /// (0 = unlimited); forwards to sim::Engine::setWatchdog.
   void setWatchdog(std::uint64_t maxEvents, sim::SimTime maxSimSeconds) {
@@ -123,7 +132,8 @@ class Simulation {
   }
 
  private:
-  void deliverEager(Comm& comm, int src, int dst, int tag, double bytes);
+  void deliverEager(Comm& comm, int src, int dst, int tag, double bytes,
+                    Request sendOp);
   void arriveRts(Comm& comm, int src, int dst, int tag, double bytes,
                  Request sendOp);
   void startRendezvousData(Comm& comm, int src, int dst, int tag,
@@ -148,6 +158,10 @@ class Simulation {
   std::vector<const std::vector<Request>*> pendingOpsByRank_;
   std::unique_ptr<sim::FaultPlane> faults_;
   std::unique_ptr<Verifier> verifier_;
+  // Raw pointer: either ownedCapture_ (enableCapture) or a Capture owned
+  // by the thread's active CaptureScope, which outlives the Simulation.
+  analysis::Capture* capture_ = nullptr;
+  std::unique_ptr<analysis::Capture> ownedCapture_;
   bool ran_ = false;
 };
 

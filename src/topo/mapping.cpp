@@ -17,9 +17,8 @@ int axisOfLetter(char c) {
     case 'T':
       return 3;
     default:
-      BGP_REQUIRE_MSG(false, std::string("invalid mapping letter: ") + c);
+      BGP_FAIL(std::string("invalid mapping letter: ") + c);
   }
-  return -1;  // unreachable
 }
 }  // namespace
 
@@ -95,7 +94,7 @@ std::int64_t Mapping::rankOf(Placement p) const {
   if (!mapfile_.empty()) {
     for (std::size_t i = 0; i < mapfile_.size(); ++i)
       if (mapfile_[i] == p) return static_cast<std::int64_t>(i);
-    BGP_REQUIRE_MSG(false, "placement not present in mapfile");
+    BGP_FAIL("placement not present in mapfile");
   }
   const Coord3 c = torus_->coordOf(p.node);
   BGP_REQUIRE(p.core >= 0 && p.core < tasksPerNode_);
