@@ -58,6 +58,37 @@ int main(int argc, char** argv) {
               std::to_string(s3dClean) + " s/step (" +
               std::to_string(s3dRanks) + " ranks)");
 
+  // Where the fault-induced slowdown goes, via the observability plane's
+  // per-rank breakdown (compute / p2p blocked / collective blocked summed
+  // over ranks) instead of hand-rolled per-app timers.  Profiling hooks
+  // observe without scheduling, so the s/step numbers are unchanged.
+  {
+    const auto breakdown = [&](const FaultConfig& fc) {
+      obs::ProfileScope scope;
+      s3dSecondsPerStep(fc, s3dRanks);
+      for (const auto& prof : scope.profilers())
+        if (prof->finalized()) return prof->profile();
+      return obs::RunProfile{};
+    };
+    FaultConfig faulted = base;
+    faulted.stragglerFraction = 0.05;
+    const obs::RunProfile clean = breakdown(base);
+    const obs::RunProfile slow = breakdown(faulted);
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "S3D rank-time breakdown, clean: compute %.3f s, p2p "
+                  "blocked %.3f s, coll blocked %.3f s",
+                  clean.computeTotal, clean.p2pBlockedTotal,
+                  clean.collBlockedTotal);
+    bench::note(buf);
+    std::snprintf(buf, sizeof buf,
+                  "S3D rank-time breakdown, 5%% stragglers: compute %.3f s, "
+                  "p2p blocked %.3f s, coll blocked %.3f s",
+                  slow.computeTotal, slow.p2pBlockedTotal,
+                  slow.collBlockedTotal);
+    bench::note(buf);
+  }
+
   const std::vector<double> fractions =
       opts.full ? std::vector<double>{0.01, 0.02, 0.05, 0.1, 0.2}
                 : std::vector<double>{0.02, 0.1};

@@ -51,6 +51,7 @@
 #include "bench/bench_common.hpp"
 #include "hpcc/hpl_sim.hpp"
 #include "microbench/halo.hpp"
+#include "obs/breakdown.hpp"
 #include "smpi/simulation.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -76,7 +77,16 @@ struct ScenarioResult {
   double wall = 0.0;          // host seconds inside run()
   std::uint64_t routeHits = 0;
   std::uint64_t routeMisses = 0;
+  // Per-rank time breakdown, aggregated by obs::summarizeStats over the
+  // runtime's own counters (the old hand-rolled accounting is gone).
+  bgp::obs::StatsSummary stats;
 };
+
+bgp::obs::StatsSummary summarize(const bgp::smpi::Simulation& sim,
+                                 int nranks) {
+  return bgp::obs::summarizeStats(&sim.rankStats(0),
+                                  static_cast<std::size_t>(nranks));
+}
 
 // ---- scenario family: halo ------------------------------------------------
 // The fig2 exchange (ISEND/IRECV, two phases, N north/west + 2N south/east
@@ -116,8 +126,9 @@ ScenarioResult runHaloWorld(int nranks, int words, int reps) {
   });
   const auto t1 = WallClock::now();
   const auto& net = sim.system().torusNetwork();
-  return ScenarioResult{r.makespan, r.events, seconds(t0, t1),
-                        net.routeCacheHits(), net.routeCacheMisses()};
+  return ScenarioResult{r.makespan,          r.events,
+                        seconds(t0, t1),     net.routeCacheHits(),
+                        net.routeCacheMisses(), summarize(sim, nranks)};
 }
 
 // ---- scenario family: allreduce -------------------------------------------
@@ -133,7 +144,8 @@ ScenarioResult runAllreduceWorld(int nranks, int reps) {
     }
   });
   const auto t1 = WallClock::now();
-  return ScenarioResult{r.makespan, r.events, seconds(t0, t1), 0, 0};
+  return ScenarioResult{r.makespan, r.events, seconds(t0, t1), 0, 0,
+                        summarize(sim, nranks)};
 }
 
 // ---- scenario family: HPL panel proxy -------------------------------------
@@ -156,7 +168,8 @@ ScenarioResult runHplPanelWorld(int nranks, int iters) {
     }
   });
   const auto t1 = WallClock::now();
-  return ScenarioResult{r.makespan, r.events, seconds(t0, t1), 0, 0};
+  return ScenarioResult{r.makespan, r.events, seconds(t0, t1), 0, 0,
+                        summarize(sim, nranks)};
 }
 
 ScenarioResult runScenario(const std::string& family, int nranks) {
@@ -203,7 +216,10 @@ Point measurePoint(const std::string& family, int nranks,
     std::ofstream out(outPath);
     out.precision(17);
     out << r.makespan << ' ' << r.events << ' ' << r.wall << ' '
-        << r.routeHits << ' ' << r.routeMisses << '\n';
+        << r.routeHits << ' ' << r.routeMisses << ' '
+        << r.stats.computeSeconds << ' ' << r.stats.p2pWaitSeconds << ' '
+        << r.stats.collWaitSeconds << ' ' << r.stats.commFraction << ' '
+        << r.stats.computeImbalance << '\n';
     out.close();
     _exit(out ? 0 : 1);
   }
@@ -221,7 +237,9 @@ Point measurePoint(const std::string& family, int nranks,
   }
   std::ifstream in(outPath);
   in >> p.r.makespan >> p.r.events >> p.r.wall >> p.r.routeHits >>
-      p.r.routeMisses;
+      p.r.routeMisses >> p.r.stats.computeSeconds >>
+      p.r.stats.p2pWaitSeconds >> p.r.stats.collWaitSeconds >>
+      p.r.stats.commFraction >> p.r.stats.computeImbalance;
   p.maxRssKiB = ru.ru_maxrss;
   return p;
 }
@@ -260,7 +278,7 @@ ScenarioResult alltoallStorm(int nranks, double bytesPerPair, int reps) {
   });
   const auto& net = sim.system().torusNetwork();
   return ScenarioResult{r.makespan, r.events, 0.0, net.routeCacheHits(),
-                        net.routeCacheMisses()};
+                        net.routeCacheMisses(), summarize(sim, nranks)};
 }
 
 }  // namespace
@@ -290,12 +308,14 @@ int main(int argc, char** argv) {
   std::vector<Point> points;
   {
     Table t({"scenario", "ranks", "makespan (s)", "events", "events/sec",
-             "wall (s)", "peak RSS (MiB)", "bytes/rank"});
+             "wall (s)", "peak RSS (MiB)", "bytes/rank", "comm frac",
+             "imbalance"});
     for (int nranks : scales) {
       for (const auto& family : families) {
         const Point p = measurePoint(family, nranks, scratch, useFork);
         points.push_back(p);
-        char mk[64], ev[32], eps[32], wl[32], rss[32], bpr[32];
+        char mk[64], ev[32], eps[32], wl[32], rss[32], bpr[32], cf[32],
+            im[32];
         std::snprintf(mk, sizeof mk, "%.17g", p.r.makespan);
         std::snprintf(ev, sizeof ev, "%llu",
                       static_cast<unsigned long long>(p.r.events));
@@ -306,8 +326,10 @@ int main(int argc, char** argv) {
         std::snprintf(rss, sizeof rss, "%.0f", p.maxRssKiB / 1024.0);
         std::snprintf(bpr, sizeof bpr, "%.0f",
                       p.maxRssKiB * 1024.0 / std::max(1, p.nranks));
+        std::snprintf(cf, sizeof cf, "%.3f", p.r.stats.commFraction);
+        std::snprintf(im, sizeof im, "%.3f", p.r.stats.computeImbalance);
         t.addRow({family, std::to_string(nranks), mk, ev, eps, wl, rss,
-                  bpr});
+                  bpr, cf, im});
       }
     }
     t.print(std::cout);
@@ -436,7 +458,12 @@ int main(int argc, char** argv) {
          << ", \"events_per_sec\": "
          << (p.r.wall > 0 ? static_cast<double>(p.r.events) / p.r.wall : 0.0)
          << ", \"peak_rss_kib\": " << p.maxRssKiB << ", \"bytes_per_rank\": "
-         << p.maxRssKiB * 1024.0 / std::max(1, p.nranks) << "}"
+         << p.maxRssKiB * 1024.0 / std::max(1, p.nranks)
+         << ", \"compute_s\": " << p.r.stats.computeSeconds
+         << ", \"p2p_wait_s\": " << p.r.stats.p2pWaitSeconds
+         << ", \"coll_wait_s\": " << p.r.stats.collWaitSeconds
+         << ", \"comm_fraction\": " << p.r.stats.commFraction
+         << ", \"compute_imbalance\": " << p.r.stats.computeImbalance << "}"
          << (i + 1 < points.size() ? "," : "") << "\n";
     }
     js << "  ],\n"

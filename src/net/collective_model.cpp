@@ -155,6 +155,20 @@ sim::SimTime CollectiveModel::rooted(int nranks, double bytes) const {
   return lg * pointLatency() + (nranks - 1) * bytes / linkBandwidthShared();
 }
 
+bool CollectiveModel::usesTreeNetwork(CollKind kind,
+                                      bool fullPartition) const {
+  if (!(machine_->hasTreeNetwork && params_.useTreeNetwork && fullPartition))
+    return false;
+  return kind == CollKind::Bcast || kind == CollKind::Reduce ||
+         kind == CollKind::Allreduce;
+}
+
+bool CollectiveModel::usesBarrierNetwork(CollKind kind,
+                                         bool fullPartition) const {
+  return kind == CollKind::Barrier && machine_->hasBarrierNetwork &&
+         params_.useBarrierNetwork && fullPartition;
+}
+
 sim::SimTime CollectiveModel::cost(CollKind kind, int nranks, double bytes,
                                    Dtype dt, bool fullPartition) const {
   BGP_REQUIRE(nranks >= 1);

@@ -54,6 +54,15 @@ class CollectiveModel {
   sim::SimTime cost(CollKind kind, int nranks, double bytes,
                     Dtype dt = Dtype::Double, bool fullPartition = true) const;
 
+  /// Which network cost() charges `kind` to — the observability plane's
+  /// per-gate classification.  Mirrors the dispatch inside cost():
+  /// bcast/reduce/allreduce ride the collective tree when the machine
+  /// has one, it is enabled, and the communicator is the full partition;
+  /// barrier rides the global-interrupt wires under the same conditions;
+  /// everything else runs torus algorithms.
+  bool usesTreeNetwork(CollKind kind, bool fullPartition) const;
+  bool usesBarrierNetwork(CollKind kind, bool fullPartition) const;
+
   const CollectiveParams& params() const { return params_; }
   CollectiveParams& params() { return params_; }
 

@@ -92,6 +92,10 @@ TorusNetwork::Walk TorusNetwork::walk(const topo::LinkId* links,
       serMax = std::max(serMax, ser);
     }
     if (params_.modelContention && commit) free = claim + ser;
+    // `head` still holds the pre-claim head arrival, so claim - head is
+    // the contention delay this link imposed.  Probe walks never report.
+    if (commit && observer_)
+      observer_->onLinkClaim(links[i], claim, ser, bytes, claim - head);
     if (first) {
       firstClaim = claim;
       first = false;
@@ -106,6 +110,7 @@ TorusNetwork::Transfer TorusNetwork::transfer(topo::NodeId src,
                                               sim::SimTime start) {
   BGP_REQUIRE(bytes >= 0);
   if (src == dst) {
+    if (observer_) observer_->onShmTransfer(bytes, start);
     const sim::SimTime done =
         start + params_.shmLatency + bytes / params_.shmBandwidth;
     return Transfer{done, done};

@@ -42,6 +42,24 @@ class TorusNetwork {
  public:
   TorusNetwork(topo::Torus3D torus, TorusParams params);
 
+  /// Passive per-link observer (the observability plane's counter tap).
+  /// Callbacks fire from committed transfers only — adaptive-routing
+  /// probes and latencyEstimate never report — and must not mutate
+  /// network or engine state: an attached observer cannot change timing.
+  class LinkObserver {
+   public:
+    virtual ~LinkObserver() = default;
+    /// A committed message claimed `link` at `claim`, occupying it for
+    /// `serSeconds`.  `queuedSeconds` is the contention delay this claim
+    /// suffered (time between the message head reaching the link and the
+    /// link coming free).
+    virtual void onLinkClaim(topo::LinkId link, sim::SimTime claim,
+                             double serSeconds, double bytes,
+                             double queuedSeconds) = 0;
+    /// A same-node transfer used the shared-memory path (no links).
+    virtual void onShmTransfer(double bytes, sim::SimTime start) = 0;
+  };
+
   struct Transfer {
     sim::SimTime injected;  // when the sender's last byte left the NIC
     sim::SimTime arrival;   // when the receiver has the full message
@@ -69,6 +87,11 @@ class TorusNetwork {
   /// sees the same penalties, so messages dodge dead links naturally.
   void attachFaults(sim::FaultPlane* faults) { faults_ = faults; }
   const sim::FaultPlane* faults() const { return faults_; }
+
+  /// Attaches a link observer (owned by the caller, may be null).
+  /// Purely observational; survives reset().
+  void attachObserver(LinkObserver* observer) { observer_ = observer; }
+  LinkObserver* observer() const { return observer_; }
 
   const topo::Torus3D& torus() const { return torus_; }
   TorusParams& params() { return params_; }
@@ -115,6 +138,7 @@ class TorusNetwork {
   std::vector<sim::SimTime> nextFree_;  // per directed link (flat, link id
                                         // indexed — the busy-time array)
   sim::FaultPlane* faults_ = nullptr;   // not owned; null = perfect machine
+  LinkObserver* observer_ = nullptr;    // not owned; null = no observation
   double bytesRouted_ = 0.0;
   /// Per-order tables laid out as adjacent 2-way sets: set s owns entries
   /// 2s (MRU way) and 2s+1 (LRU way); ways swap on a second-way hit.

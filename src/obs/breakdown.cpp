@@ -1,0 +1,34 @@
+#include "obs/breakdown.hpp"
+
+#include <algorithm>
+
+#include "smpi/rank.hpp"
+#include "support/expect.hpp"
+
+namespace bgp::obs {
+
+StatsSummary summarizeStats(const smpi::RankStats* stats, std::size_t n) {
+  BGP_REQUIRE_MSG(stats != nullptr && n >= 1, "need at least one rank");
+  StatsSummary s;
+  for (std::size_t i = 0; i < n; ++i) {
+    const smpi::RankStats& r = stats[i];
+    s.sends += r.sends;
+    s.recvs += r.recvs;
+    s.collectives += r.collectives;
+    s.bytesSent += r.bytesSent;
+    s.computeSeconds += r.computeSeconds;
+    s.p2pWaitSeconds += r.p2pWaitSeconds;
+    s.collWaitSeconds += r.collWaitSeconds;
+    s.maxComputeSeconds = std::max(s.maxComputeSeconds, r.computeSeconds);
+  }
+  const double meanCompute = s.computeSeconds / static_cast<double>(n);
+  s.computeImbalance =
+      meanCompute > 0 ? s.maxComputeSeconds / meanCompute : 1.0;
+  const double total =
+      s.computeSeconds + s.p2pWaitSeconds + s.collWaitSeconds;
+  s.commFraction =
+      total > 0 ? (s.p2pWaitSeconds + s.collWaitSeconds) / total : 0.0;
+  return s;
+}
+
+}  // namespace bgp::obs

@@ -1,0 +1,36 @@
+#pragma once
+// Stats-only aggregation over the runtime's per-rank activity counters
+// (smpi::RankStats) — the shared arithmetic behind Simulation::profile(),
+// the obs::Profiler breakdown totals, and the bench harnesses that
+// report per-rank time splits (bench/scale_ranks, bench/resilience_faults).
+// Kept separate from obs/profiler so callers that only want the sums
+// need no Simulation.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bgp::smpi {
+struct RankStats;
+}
+
+namespace bgp::obs {
+
+struct StatsSummary {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t collectives = 0;
+  double bytesSent = 0.0;
+  double computeSeconds = 0.0;   // summed over ranks
+  double p2pWaitSeconds = 0.0;
+  double collWaitSeconds = 0.0;
+  double maxComputeSeconds = 0.0;
+  /// max/mean of per-rank compute time (1.0 = perfectly balanced).
+  double computeImbalance = 1.0;
+  /// fraction of total rank-time spent blocked on communication.
+  double commFraction = 0.0;
+};
+
+/// Aggregates `stats[0..n)`.  n must be >= 1.
+StatsSummary summarizeStats(const smpi::RankStats* stats, std::size_t n);
+
+}  // namespace bgp::obs

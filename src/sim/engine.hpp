@@ -153,6 +153,9 @@ class Engine {
   bool empty() const { return pending_ == 0; }
   std::uint64_t eventsProcessed() const { return eventsProcessed_; }
   std::size_t pending() const { return pending_; }
+  /// High-water mark of the pending-event count (queue pressure metric
+  /// surfaced by the observability plane).
+  std::size_t peakPending() const { return peakPending_; }
 
  private:
   /// Packed event key: [63..0 of time's bit pattern | 40-bit seq | 24-bit
@@ -236,6 +239,7 @@ class Engine {
   void pushEvent(SimTime t, std::uint32_t slot) {
     t += 0.0;  // canonicalize -0.0, whose bit pattern would misorder
     ++pending_;
+    if (pending_ > peakPending_) peakPending_ = pending_;
     if (t == now_) {
       // Exactly-now events are FIFO-exact: any pending event at this
       // timestamp was sequenced earlier (seq is globally monotone), so
@@ -391,6 +395,7 @@ class Engine {
   std::uint64_t nextSeq_ = 0;
   std::uint64_t eventsProcessed_ = 0;
   std::size_t pending_ = 0;
+  std::size_t peakPending_ = 0;
 
   std::vector<Key> bottom_;             // sorted descending; min at back
   std::vector<std::uint32_t> nowFifo_;  // slots of events at exactly now()

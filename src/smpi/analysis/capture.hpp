@@ -65,6 +65,11 @@ class Capture {
   OpGraph& graph() { return graph_; }
   const OpGraph& graph() const { return graph_; }
 
+  /// Graph node id of a p2p op, or -1 (unknown op / capture was full).
+  /// The observability plane uses this to walk from a blocking wait's
+  /// releasing op to the matched partner's issue.
+  std::int32_t nodeIdOf(const OpState* op) const { return nodeOf(op); }
+
  private:
   bool full();
   void noteComm(const Comm& comm);

@@ -34,6 +34,8 @@ void AwaitOps::await_suspend(std::coroutine_handle<> h) {
   const double blockStart = sim_->engine().now();
   const bool collective =
       std::string_view(ops_.front()->what) == "collective";
+  if (auto* prof = sim_->profiler())
+    prof->onBlockBegin(rank_->id_, blockStart, collective);
   for (const auto& op : ops_) {
     if (op->complete) continue;
     op->onComplete([this, h, blockStart, collective] {
@@ -59,6 +61,8 @@ RecvInfo AwaitOps::await_resume() const {
   for (const auto& op : ops_) op->waited = true;
   if (auto* cap = sim_->capture())
     cap->onWait(rank_->id_, ops_, sim_->engine().now());
+  if (auto* prof = sim_->profiler())
+    prof->onBlockEnd(rank_->id_, ops_, sim_->engine().now());
   return ops_.front()->info;
 }
 
@@ -88,6 +92,8 @@ void AwaitAny::await_suspend(std::coroutine_handle<> h) {
   sim_->blockedOnOf(rank_->id_) = "waitany";
   sim_->pendingOpsOf(rank_->id_) = &ops_;
   const double blockStart = sim_->engine().now();
+  if (auto* prof = sim_->profiler())
+    prof->onBlockBegin(rank_->id_, blockStart, /*collective=*/false);
   const int id = rank_->id_;
   Simulation* sim = sim_;
   for (std::size_t i = 0; i < ops_.size(); ++i) {
@@ -113,6 +119,9 @@ std::size_t AwaitAny::await_resume() const {
   ops_[shared_->index]->waited = true;
   if (auto* cap = sim_->capture())
     cap->onWaitOne(rank_->id_, ops_[shared_->index], sim_->engine().now());
+  if (auto* prof = sim_->profiler())
+    prof->onBlockEndAny(rank_->id_, ops_, shared_->index,
+                        sim_->engine().now());
   return shared_->index;
 }
 
@@ -126,6 +135,8 @@ AwaitCompute::AwaitCompute(Simulation& sim, Rank& rank, double seconds)
 void AwaitCompute::await_suspend(std::coroutine_handle<> h) {
   sim_->blockedOnOf(rank_->id_) = "compute";
   sim_->statsOf(rank_->id_).computeSeconds += seconds_;
+  if (auto* prof = sim_->profiler())
+    prof->onCompute(rank_->id_, sim_->engine().now(), seconds_);
   sim_->engine().scheduleCallback(sim_->engine().now() + seconds_,
                                   [this, h] {
                                     sim_->blockedOnOf(rank_->id_) = nullptr;

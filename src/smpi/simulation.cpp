@@ -6,6 +6,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "obs/breakdown.hpp"
 #include "support/expect.hpp"
 
 namespace bgp::smpi {
@@ -32,6 +33,16 @@ Simulation::Simulation(arch::MachineConfig machine, std::int64_t nranks,
   }
   if (auto* scope = analysis::CaptureScope::active())
     capture_ = &scope->attach(static_cast<int>(nranks));
+  if (auto* pscope = obs::ProfileScope::active()) {
+    // Profiling implies capture: the critical path and what-if replays
+    // reuse the op-graph's happens-before edges.
+    if (!capture_) {
+      ownedCapture_ = std::make_unique<analysis::Capture>(
+          static_cast<int>(nranks), analysis::CaptureOptions{});
+      capture_ = ownedCapture_.get();
+    }
+    profiler_ = &pscope->attach(*this);
+  }
 }
 
 void Simulation::setFaults(const sim::FaultConfig& config) {
@@ -87,6 +98,14 @@ analysis::Capture& Simulation::enableCapture(analysis::CaptureOptions options) {
       static_cast<int>(nranks_), options);
   capture_ = ownedCapture_.get();
   return *capture_;
+}
+
+obs::Profiler& Simulation::enableProfile(obs::ProfileOptions options) {
+  BGP_REQUIRE_MSG(!ran_, "enableProfile must be called before run()");
+  if (!capture_) enableCapture();
+  ownedProfiler_ = std::make_unique<obs::Profiler>(*this, options);
+  profiler_ = ownedProfiler_.get();
+  return *profiler_;
 }
 
 RunResult Simulation::run(const RankProgram& program) {
@@ -166,6 +185,7 @@ RunResult Simulation::run(const RankProgram& program) {
   result.makespan =
       *std::max_element(result.finishTimes.begin(), result.finishTimes.end());
   result.events = engine_.eventsProcessed();
+  if (profiler_ && !profiler_->finalized()) profiler_->finalize(result);
   return result;
 }
 
@@ -213,24 +233,16 @@ const RankStats& Simulation::rankStats(int worldRank) const {
 }
 
 Simulation::Profile Simulation::profile() const {
+  const obs::StatsSummary s = obs::summarizeStats(stats_.data(), stats_.size());
   Profile p;
-  double maxCompute = 0.0;
-  for (const RankStats& s : stats_) {
-    p.sends += s.sends;
-    p.collectives += s.collectives;
-    p.bytesSent += s.bytesSent;
-    p.computeSeconds += s.computeSeconds;
-    p.p2pWaitSeconds += s.p2pWaitSeconds;
-    p.collWaitSeconds += s.collWaitSeconds;
-    maxCompute = std::max(maxCompute, s.computeSeconds);
-  }
-  const double meanCompute =
-      p.computeSeconds / static_cast<double>(nranks_);
-  p.computeImbalance = meanCompute > 0 ? maxCompute / meanCompute : 1.0;
-  const double total =
-      p.computeSeconds + p.p2pWaitSeconds + p.collWaitSeconds;
-  p.commFraction =
-      total > 0 ? (p.p2pWaitSeconds + p.collWaitSeconds) / total : 0.0;
+  p.sends = s.sends;
+  p.collectives = s.collectives;
+  p.bytesSent = s.bytesSent;
+  p.computeSeconds = s.computeSeconds;
+  p.p2pWaitSeconds = s.p2pWaitSeconds;
+  p.collWaitSeconds = s.collWaitSeconds;
+  p.computeImbalance = s.computeImbalance;
+  p.commFraction = s.commFraction;
   return p;
 }
 
@@ -343,6 +355,7 @@ Request Simulation::startSend(int worldSrc, Comm& comm, int dstCommRank,
   op->bytes = bytes;
   if (verifier_) verifier_->onSend(op);
   if (capture_) capture_->onSend(comm, op, engine_.now());
+  if (profiler_) profiler_->onP2pIssue(comm, op, /*isSend=*/true, engine_.now());
 
   const int worldDst = comm.worldRank(dstCommRank);
   const topo::NodeId srcNode = system_->nodeOf(worldSrc);
@@ -440,6 +453,8 @@ Request Simulation::postRecv(int worldDst, Comm& comm, int srcWanted,
   op->expectedBytes = expectedBytes;
   if (verifier_) verifier_->onRecv(op);
   if (capture_) capture_->onRecv(comm, op, engine_.now());
+  if (profiler_)
+    profiler_->onP2pIssue(comm, op, /*isSend=*/false, engine_.now());
 
   MatchTable::Staged msg;
   if (comm.match_.takeStagedMatch(dst, srcWanted, tagWanted, msg)) {
@@ -502,6 +517,8 @@ Request Simulation::joinCollective(Comm& comm, int commRank,
   ++gate.arrived;
   gate.lastArrival = std::max(gate.lastArrival, engine_.now());
   Request op = gate.op;
+  if (profiler_)
+    profiler_->onCollArrival(comm, op, kind, bytes, commRank, engine_.now());
 
   if (gate.arrived == comm.size()) {
     // The BG/P tree/barrier networks only serve the full partition; sub-
@@ -510,6 +527,9 @@ Request Simulation::joinCollective(Comm& comm, int commRank,
         kind, comm.size(), gate.bytes, gate.dt, comm.id() == 0);
     const sim::SimTime done = gate.lastArrival + duration;
     engine_.scheduleCallback(done, [op] { op->finish(); });
+    if (profiler_)
+      profiler_->onCollComplete(comm, op, kind, gate.bytes, gate.dt,
+                                gate.lastArrival, duration, done);
     comm.colls_.erase(seq);
   }
   return op;

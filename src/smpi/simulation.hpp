@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/system.hpp"
+#include "obs/profiler.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/task.hpp"
@@ -102,6 +103,15 @@ class Simulation {
   analysis::Capture& enableCapture(analysis::CaptureOptions options = {});
   analysis::Capture* capture() { return capture_; }
 
+  // ---- observability plane ---------------------------------------------------
+  /// Enables profiling for this Simulation (call before run()); implies
+  /// capture (the critical path reuses the op-graph's happens-before
+  /// edges).  Simulations constructed under an obs::ProfileScope are
+  /// profiled automatically without this call.  The profile is assembled
+  /// by run() and read via profiler()->profile().
+  obs::Profiler& enableProfile(obs::ProfileOptions options = {});
+  obs::Profiler* profiler() { return profiler_; }
+
   /// Aborts run() with WatchdogError once either budget is exceeded
   /// (0 = unlimited); forwards to sim::Engine::setWatchdog.
   void setWatchdog(std::uint64_t maxEvents, sim::SimTime maxSimSeconds) {
@@ -162,6 +172,10 @@ class Simulation {
   // by the thread's active CaptureScope, which outlives the Simulation.
   analysis::Capture* capture_ = nullptr;
   std::unique_ptr<analysis::Capture> ownedCapture_;
+  // Raw pointer: either ownedProfiler_ (enableProfile) or a Profiler
+  // owned by the active ProfileScope, which outlives the Simulation.
+  obs::Profiler* profiler_ = nullptr;
+  std::unique_ptr<obs::Profiler> ownedProfiler_;
   bool ran_ = false;
 };
 

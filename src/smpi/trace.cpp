@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "smpi/rank.hpp"
+#include "support/json.hpp"
 #include "support/units.hpp"
 
 namespace bgp::smpi {
@@ -10,22 +11,18 @@ namespace bgp::smpi {
 void Tracer::record(int rank, const std::string& name, sim::SimTime begin,
                     sim::SimTime end) {
   BGP_REQUIRE_MSG(end >= begin, "trace interval ends before it begins");
-  events_.push_back(Event{rank, name, begin, end});
+  events_.push_back(Event{rank, name, begin, end, 'X', 0.0});
 }
 
 void Tracer::instant(int rank, const std::string& name) {
-  const sim::SimTime t = engine_->now();
-  events_.push_back(Event{rank, name, t, t});
+  const sim::SimTime t = now();
+  events_.push_back(Event{rank, name, t, t, 'i', 0.0});
 }
 
-namespace {
-void jsonEscape(std::ostream& os, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
-  }
+void Tracer::counter(int rank, const std::string& name, sim::SimTime t,
+                     double value) {
+  events_.push_back(Event{rank, name, t, t, 'C', value});
 }
-}  // namespace
 
 void Tracer::writeChromeJson(std::ostream& os) const {
   os << "{\"traceEvents\":[";
@@ -34,14 +31,17 @@ void Tracer::writeChromeJson(std::ostream& os) const {
     if (!first) os << ',';
     first = false;
     const double us = e.begin * 1e6;
-    if (e.end == e.begin) {
-      os << "{\"name\":\"";
-      jsonEscape(os, e.name);
+    os << "{\"name\":\"";
+    support::jsonEscape(os, e.name);
+    if (e.phase == 'C') {
+      os << "\",\"ph\":\"C\",\"ts\":" << us << ",\"pid\":0,\"tid\":" << e.rank
+         << ",\"args\":{\"value\":";
+      support::jsonNumber(os, e.value);
+      os << "}}";
+    } else if (e.end == e.begin) {
       os << "\",\"ph\":\"i\",\"ts\":" << us << ",\"pid\":0,\"tid\":" << e.rank
          << ",\"s\":\"t\"}";
     } else {
-      os << "{\"name\":\"";
-      jsonEscape(os, e.name);
       os << "\",\"ph\":\"X\",\"ts\":" << us
          << ",\"dur\":" << (e.end - e.begin) * 1e6
          << ",\"pid\":0,\"tid\":" << e.rank << "}";

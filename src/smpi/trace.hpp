@@ -26,6 +26,10 @@ class Rank;
 class Tracer {
  public:
   explicit Tracer(sim::Engine& engine) : engine_(&engine) {}
+  /// Engine-less tracer: record()/counter() take explicit timestamps, so
+  /// post-run exporters (obs/report merging profile counters) need no
+  /// live engine.  instant()/now() require one and throw without it.
+  Tracer() = default;
 
   /// Records a completed interval [begin, end] on `rank`'s timeline.
   void record(int rank, const std::string& name, sim::SimTime begin,
@@ -34,27 +38,38 @@ class Tracer {
   /// Marks an instantaneous event.
   void instant(int rank, const std::string& name);
 
+  /// Records a Chrome "C"-phase counter sample: `name` = `value` at `t`
+  /// on `rank`'s track (the observability plane's histogram export).
+  void counter(int rank, const std::string& name, sim::SimTime t,
+               double value);
+
   std::size_t eventCount() const { return events_.size(); }
 
   struct Event {
     int rank;
     std::string name;
     sim::SimTime begin;
-    sim::SimTime end;  // == begin for instants
+    sim::SimTime end;    // == begin for instants
+    char phase = 'X';    // 'X' span, 'i' instant, 'C' counter
+    double value = 0.0;  // counters only
   };
   const std::vector<Event>& events() const { return events_; }
 
-  /// Chrome trace-event JSON ("traceEvents" array of X/i phases, one
-  /// "thread" per rank, microsecond timestamps).
+  /// Chrome trace-event JSON ("traceEvents" array of X/i/C phases, one
+  /// "thread" per rank, microsecond timestamps).  Names are fully
+  /// escaped: quotes, backslashes, and control characters survive.
   void writeChromeJson(std::ostream& os) const;
 
   /// Plain-text dump, one line per event (for tests and quick looks).
   void writeText(std::ostream& os) const;
 
-  sim::SimTime now() const { return engine_->now(); }
+  sim::SimTime now() const {
+    BGP_REQUIRE_MSG(engine_ != nullptr, "tracer has no engine");
+    return engine_->now();
+  }
 
  private:
-  sim::Engine* engine_;
+  sim::Engine* engine_ = nullptr;
   std::vector<Event> events_;
 };
 

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal JSON output helpers shared by the exporters (smpi::Tracer,
+// obs::writeJson).  Writing only — the repo deliberately has no JSON
+// parser dependency.
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace bgp::support {
+
+/// Writes `s` with full JSON string escaping: quote, backslash, the
+/// short escapes (\b \f \n \r \t), and \u00XX for every other control
+/// character.  Anything less breaks chrome://tracing on hostile event
+/// names (quotes in a scenario label, a stray tab in a site string).
+inline void jsonEscape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Shortest round-trip double formatting (%.17g): deterministic across
+/// runs for identical bit patterns, which is what the golden-determinism
+/// tests diff.
+inline void jsonNumber(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace bgp::support
